@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries.
+ */
+
+#ifndef CATSIM_BENCH_BENCH_COMMON_HPP
+#define CATSIM_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+
+namespace catsim
+{
+
+/**
+ * Experiment scale for bench binaries: CATSIM_SCALE when set,
+ * otherwise 0.2 (about one fifth of a real 64 ms refresh interval with
+ * the refresh threshold co-scaled - see DESIGN.md Section 7).  Set
+ * CATSIM_SCALE=1.0 for full-interval runs.
+ */
+inline double
+benchScale()
+{
+    const char *env = std::getenv("CATSIM_SCALE");
+    if (!env)
+        return 0.2;
+    return experimentScale();
+}
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const std::string &what, double scale)
+{
+    std::cout << "### " << what << '\n'
+              << "### catsim reproduction of Seyedzadeh et al., "
+                 "\"Mitigating Wordline Crosstalk using Adaptive Trees "
+                 "of Counters\", ISCA 2018\n"
+              << "### experiment scale s=" << scale
+              << " (CATSIM_SCALE to change; s<1 co-scales epoch length "
+                 "and refresh threshold)\n\n";
+}
+
+/** Scheme shorthand used by several figures. */
+inline SchemeConfig
+mkScheme(SchemeKind kind, std::uint32_t counters, std::uint32_t levels,
+         std::uint32_t threshold, double p = 0.002)
+{
+    SchemeConfig cfg;
+    cfg.kind = kind;
+    cfg.numCounters = counters;
+    cfg.maxLevels = levels;
+    cfg.threshold = threshold;
+    cfg.praProbability = p;
+    return cfg;
+}
+
+/** PRA probability the paper pairs with each refresh threshold. */
+inline double
+praProbabilityFor(std::uint32_t threshold)
+{
+    switch (threshold) {
+      case 65536: return 0.001;
+      case 32768: return 0.002;
+      case 16384: return 0.003;
+      case 8192: return 0.005;
+      default: return 0.002;
+    }
+}
+
+} // namespace catsim
+
+#endif // CATSIM_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fig 2 - per-bank energy of SCA over a 64 ms interval as the number
+ * of counters sweeps 16..65536: counter energy (dynamic + static),
+ * victim-refresh energy (averaged over the 18 workloads), and the
+ * total, plus the optimistic 2K/8K counter-cache horizontal lines.
+ * The paper's observation: the total is minimized near M=128.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "energy/hw_model.hpp"
+#include "bench_common.hpp"
+
+using namespace catsim;
+
+int
+main()
+{
+    const double scale = benchScale();
+    benchBanner("Fig 2: SCA energy vs number of counters", scale);
+
+    ExperimentRunner runner(scale);
+
+    // Per-bank, per-interval averages over the full workload suite.
+    RunningStat actsPerBankInterval;
+    std::vector<RunningStat> refreshRows; // per M index
+    const std::uint32_t counters[] = {16,   32,   64,   128,  256,
+                                      512,  1024, 2048, 4096, 8192,
+                                      16384, 32768, 65536};
+    const std::size_t nM = std::size(counters);
+    refreshRows.resize(nM);
+
+    for (const auto &profile : workloadSuite()) {
+        WorkloadSpec w;
+        w.name = profile.name;
+        const auto &base =
+            runner.baseline(SystemPreset::DualCore2Ch, w);
+        const double banks =
+            static_cast<double>(base.bankStreams.size());
+        const double epochs =
+            std::max<double>(1.0, static_cast<double>(base.epochs));
+        actsPerBankInterval.add(
+            static_cast<double>(base.totalActivations) / banks
+            / epochs);
+        for (std::size_t i = 0; i < nM; ++i) {
+            const auto cfg =
+                mkScheme(SchemeKind::Sca, counters[i], 11, 32768);
+            const auto r = runner.evalCmrpo(SystemPreset::DualCore2Ch,
+                                            w, cfg);
+            // Rows refreshed per bank per (unscaled) interval.
+            refreshRows[i].add(
+                static_cast<double>(r.stats.victimRowsRefreshed)
+                / banks / epochs * scale);
+        }
+    }
+
+    const double acts = actsPerBankInterval.mean() / scale;
+    std::cout << "mean activations per bank per 64 ms interval: "
+              << TextTable::fixed(acts, 0) << "\n\n";
+
+    TextTable table({"M", "counter energy (nJ)", "refresh (nJ)",
+                     "total (nJ)"});
+    double bestTotal = 1e300;
+    std::uint32_t bestM = 0;
+    for (std::size_t i = 0; i < nM; ++i) {
+        const auto hw =
+            HwModel::cost(SchemeKind::Sca, counters[i], 11, 32768);
+        const double counterNj =
+            hw.dynPerAccess * acts + hw.staticPerInterval;
+        const double refreshNj = refreshRows[i].mean()
+                                 * EnergyConstants::kRefreshPerRowNj;
+        const double total = counterNj + refreshNj;
+        if (total < bestTotal) {
+            bestTotal = total;
+            bestM = counters[i];
+        }
+        table.addRow({TextTable::num(counters[i]),
+                      TextTable::sci(counterNj, 2),
+                      TextTable::sci(refreshNj, 2),
+                      TextTable::sci(total, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCounter-cache baselines (optimistic, no-miss; "
+                 "Fig 2 horizontal lines):\n";
+    TextTable cc({"cache", "energy (nJ per interval)",
+                  "equals SCA at"});
+    for (std::uint32_t c : {2048u, 8192u}) {
+        const auto hw =
+            HwModel::cost(SchemeKind::CounterCache, c, 0, 32768);
+        cc.addRow({std::to_string(c / 1024) + "K counters",
+                   TextTable::sci(hw.dynPerAccess * acts
+                                      + hw.staticPerInterval,
+                                  2),
+                   "SCA_" + std::to_string(2 * c)});
+    }
+    cc.print(std::cout);
+
+    std::cout << "\ntotal minimized at M=" << bestM
+              << " (paper: M=128)\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 3 - row address access frequency in one DRAM bank over a 64 ms
+ * interval for blackscholes and facesim: a small group of rows
+ * dominates the accesses, which motivates dynamic counter assignment.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "bench_common.hpp"
+
+using namespace catsim;
+
+namespace
+{
+
+void
+analyze(ExperimentRunner &runner, const std::string &name)
+{
+    WorkloadSpec w;
+    w.name = name;
+    const auto &base = runner.baseline(SystemPreset::DualCore2Ch, w);
+
+    // Bank 0's activation stream, first epoch only.
+    std::map<RowAddr, Count> freq;
+    Count total = 0;
+    for (const RowAddr r : base.bankStreams[0]) {
+        if (r == kEpochMarker)
+            break;
+        ++freq[r];
+        ++total;
+    }
+
+    std::vector<std::pair<Count, RowAddr>> sorted;
+    for (const auto &[row, c] : freq)
+        sorted.emplace_back(c, row);
+    std::sort(sorted.rbegin(), sorted.rend());
+
+    std::cout << "workload " << name << ": " << total
+              << " activations to " << freq.size()
+              << " distinct rows in bank 0 (one scaled interval)\n";
+
+    TextTable top({"rank", "row address", "accesses", "share"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size());
+         ++i) {
+        top.addRow({TextTable::num(i + 1),
+                    TextTable::num(sorted[i].second),
+                    TextTable::num(sorted[i].first),
+                    TextTable::pct(static_cast<double>(sorted[i].first)
+                                       / static_cast<double>(total),
+                                   1)});
+    }
+    top.print(std::cout);
+
+    auto shareOfTop = [&](std::size_t k) {
+        Count c = 0;
+        for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i)
+            c += sorted[i].first;
+        return static_cast<double>(c) / static_cast<double>(total);
+    };
+    std::cout << "top-8 rows: " << TextTable::pct(shareOfTop(8), 1)
+              << "  top-32 rows: " << TextTable::pct(shareOfTop(32), 1)
+              << "  top-128 rows: "
+              << TextTable::pct(shareOfTop(128), 1) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    benchBanner("Fig 3: row address frequency in a DRAM bank", scale);
+    ExperimentRunner runner(scale);
+    analyze(runner, "black");
+    analyze(runner, "face");
+    std::cout << "Expected shape: a handful of rows dominate overall "
+                 "accesses (paper Fig 3).\n";
+    return 0;
+}

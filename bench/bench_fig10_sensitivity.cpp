@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig 10 - CMRPO sensitivity of DRCAT to the number of counters
+ * (32..512) and the maximum tree depth (6..14), against SCA with the
+ * same counter count, for T=32K and T=16K.  Values are means over the
+ * 18-workload suite (the paper plots the same aggregation).
+ *
+ * Expected shape: with few counters, refresh energy dominates and
+ * deeper trees help; with many counters, static power dominates and
+ * depth is inconsequential; the minimum sits near DRCAT_64/L11.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "bench_common.hpp"
+
+using namespace catsim;
+
+namespace
+{
+
+double
+meanCmrpo(ExperimentRunner &runner, const SchemeConfig &cfg)
+{
+    RunningStat stat;
+    for (const auto &profile : workloadSuite()) {
+        WorkloadSpec w;
+        w.name = profile.name;
+        stat.add(
+            runner.evalCmrpo(SystemPreset::DualCore2Ch, w, cfg).cmrpo);
+    }
+    return stat.mean();
+}
+
+void
+figure(ExperimentRunner &runner, std::uint32_t threshold)
+{
+    std::cout << "--- T = " << threshold / 1024 << "K ---\n";
+    TextTable table({"M", "SCA", "L6", "L7", "L8", "L9", "L10", "L11",
+                     "L12", "L13", "L14"});
+    for (std::uint32_t m : {32u, 64u, 128u, 256u, 512u}) {
+        std::uint32_t logM = 0;
+        for (std::uint32_t v = m; v > 1; v >>= 1)
+            ++logM;
+        std::vector<std::string> row{TextTable::num(m)};
+        row.push_back(TextTable::pct(
+            meanCmrpo(runner, mkScheme(SchemeKind::Sca, m, 0,
+                                       threshold)),
+            2));
+        for (std::uint32_t L = 6; L <= 14; ++L) {
+            if (L < logM + 1) {
+                row.push_back("-");
+                continue;
+            }
+            row.push_back(TextTable::pct(
+                meanCmrpo(runner, mkScheme(SchemeKind::Drcat, m, L,
+                                           threshold)),
+                2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    benchBanner("Fig 10: DRCAT counters x depth sensitivity", scale);
+    ExperimentRunner runner(scale);
+    figure(runner, 32768);
+    figure(runner, 16384);
+    return 0;
+}

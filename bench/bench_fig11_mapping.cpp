@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig 11 - effect of the address mapping policy and core count on
+ * CMRPO at iso-area storage: dual-core/2-channel (SCA_128, PRCAT_64,
+ * DRCAT_64) vs quad-core/2-channel and quad-core/4-channel (SCA_256,
+ * PRCAT_128, DRCAT_128), for T=32K and T=16K.  Quad-core banks have
+ * 128K rows (paper Fig 11 caption).
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "bench_common.hpp"
+
+using namespace catsim;
+
+namespace
+{
+
+double
+meanCmrpo(ExperimentRunner &runner, SystemPreset preset,
+          const SchemeConfig &cfg)
+{
+    RunningStat stat;
+    for (const auto &profile : workloadSuite()) {
+        WorkloadSpec w;
+        w.name = profile.name;
+        stat.add(runner.evalCmrpo(preset, w, cfg).cmrpo);
+    }
+    return stat.mean();
+}
+
+void
+figure(ExperimentRunner &runner, std::uint32_t threshold)
+{
+    const double p = praProbabilityFor(threshold);
+    std::cout << "--- T = " << threshold / 1024 << "K ---\n";
+    TextTable table({"system", "PRA", "SCA", "PRCAT", "DRCAT"});
+
+    struct Row
+    {
+        const char *name;
+        SystemPreset preset;
+        std::uint32_t sca, cat;
+    };
+    const Row rows[] = {
+        {"dual-core/2ch", SystemPreset::DualCore2Ch, 128, 64},
+        {"quad-core/2ch", SystemPreset::QuadCore2Ch, 256, 128},
+        {"quad-core/4ch", SystemPreset::QuadCore4Ch, 256, 128},
+    };
+    for (const Row &r : rows) {
+        table.addRow(
+            {r.name,
+             TextTable::pct(meanCmrpo(runner, r.preset,
+                                      mkScheme(SchemeKind::Pra, 0, 0,
+                                               threshold, p)),
+                            2),
+             TextTable::pct(meanCmrpo(runner, r.preset,
+                                      mkScheme(SchemeKind::Sca, r.sca,
+                                               0, threshold)),
+                            2),
+             TextTable::pct(
+                 meanCmrpo(runner, r.preset,
+                           mkScheme(SchemeKind::Prcat, r.cat, 11,
+                                    threshold)),
+                 2),
+             TextTable::pct(
+                 meanCmrpo(runner, r.preset,
+                           mkScheme(SchemeKind::Drcat, r.cat, 11,
+                                    threshold)),
+                 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    benchBanner("Fig 11: mapping policy and core count", scale);
+    ExperimentRunner runner(scale);
+    figure(runner, 32768);
+    figure(runner, 16384);
+    std::cout << "Expected shape (paper): quad-core/2ch worst (more "
+                 "traffic per bank, SCA hit hardest - 21% vs DRCAT 7% "
+                 "at T=16K); the 4-channel policy lowers CMRPO for all "
+                 "schemes (64 banks instead of 16).\n";
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the mitigation-scheme hot
+ * paths: per-activation cost of SCA, PRA, PRCAT, DRCAT and the counter
+ * cache, CAT tree traversal/growth, and the PRNG/Zipf substrates.
+ * These support the paper's latency claims (Section VII-A: PRCAT
+ * lookup is far cheaper than a DRAM row activation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/lfsr.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "core/cat_tree.hpp"
+#include "core/counter_cache.hpp"
+#include "core/drcat.hpp"
+#include "core/pra.hpp"
+#include "core/prcat.hpp"
+#include "core/sca.hpp"
+#include "core/split_thresholds.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+constexpr RowAddr kRows = 65536;
+
+/** Pre-generated skewed row stream shared by scheme benchmarks. */
+const std::vector<RowAddr> &
+rowStream()
+{
+    static const std::vector<RowAddr> stream = [] {
+        std::vector<RowAddr> s;
+        s.reserve(1 << 16);
+        Xoshiro256StarStar rng(99);
+        ZipfSampler zipf(kRows, 1.1);
+        for (std::size_t i = 0; i < (1 << 16); ++i)
+            s.push_back(static_cast<RowAddr>(zipf.sample(rng)
+                                             * 2654435761ULL
+                                             % kRows));
+        return s;
+    }();
+    return stream;
+}
+
+template <typename SchemeT, typename... Args>
+void
+schemeBench(benchmark::State &state, Args &&...args)
+{
+    SchemeT scheme(kRows, std::forward<Args>(args)...);
+    const auto &stream = rowStream();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheme.onActivate(stream[i & 0xFFFF]));
+        ++i;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_ScaActivate(benchmark::State &state)
+{
+    schemeBench<Sca>(state,
+                     static_cast<std::uint32_t>(state.range(0)),
+                     32768u);
+}
+BENCHMARK(BM_ScaActivate)->Arg(64)->Arg(512);
+
+void
+BM_PraActivate(benchmark::State &state)
+{
+    schemeBench<Pra>(state, 0.002);
+}
+BENCHMARK(BM_PraActivate);
+
+void
+BM_PrcatActivate(benchmark::State &state)
+{
+    schemeBench<Prcat>(state,
+                       static_cast<std::uint32_t>(state.range(0)),
+                       11u, 32768u);
+}
+BENCHMARK(BM_PrcatActivate)->Arg(64)->Arg(512);
+
+void
+BM_DrcatActivate(benchmark::State &state)
+{
+    schemeBench<Drcat>(state,
+                       static_cast<std::uint32_t>(state.range(0)),
+                       11u, 32768u);
+}
+BENCHMARK(BM_DrcatActivate)->Arg(64)->Arg(512);
+
+void
+BM_CounterCacheActivate(benchmark::State &state)
+{
+    schemeBench<CounterCache>(state, 2048u, 8u, 32768u);
+}
+BENCHMARK(BM_CounterCacheActivate);
+
+void
+BM_CatTreeHammer(benchmark::State &state)
+{
+    // Worst-case deep leaf: single-row hammer after full growth.
+    CatTree::Params p;
+    p.numRows = kRows;
+    p.numCounters = 64;
+    p.maxLevels = 11;
+    p.refreshThreshold = 32768;
+    p.splitThresholds = computeSplitThresholds(64, 11, 32768);
+    CatTree tree(p);
+    for (int i = 0; i < 40000; ++i)
+        tree.access(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.access(42));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CatTreeHammer);
+
+void
+BM_CatTreeReset(benchmark::State &state)
+{
+    CatTree::Params p;
+    p.numRows = kRows;
+    p.numCounters = static_cast<std::uint32_t>(state.range(0));
+    p.maxLevels = 14;
+    p.refreshThreshold = 32768;
+    p.splitThresholds =
+        computeSplitThresholds(p.numCounters, 14, 32768);
+    CatTree tree(p);
+    for (auto _ : state)
+        tree.reset();
+}
+BENCHMARK(BM_CatTreeReset)->Arg(64)->Arg(512);
+
+void
+BM_Xoshiro(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void
+BM_LfsrNineBits(benchmark::State &state)
+{
+    Lfsr lfsr(16, 0xACE1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lfsr.nextBits(9));
+}
+BENCHMARK(BM_LfsrNineBits);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(2);
+    ZipfSampler zipf(kRows, 1.1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+} // namespace
+} // namespace catsim
+
+BENCHMARK_MAIN();

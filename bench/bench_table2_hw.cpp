@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table II - per-bank hardware energy and area of DRCAT, PRCAT and SCA
+ * for M in {32..512} (L=11, T=32K), plus the PRA PRNG specification.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/hw_model.hpp"
+#include "bench_common.hpp"
+
+using namespace catsim;
+
+int
+main()
+{
+    benchBanner("Table II: hardware energy (per bank) and area", 1.0);
+
+    TextTable table({"M", "DRCAT dyn", "DRCAT static", "PRCAT dyn",
+                     "PRCAT static", "SCA dyn", "SCA static",
+                     "DRCAT mm2", "PRCAT mm2", "SCA mm2"});
+    for (std::uint32_t m : {32u, 64u, 128u, 256u, 512u}) {
+        const auto d = HwModel::cost(SchemeKind::Drcat, m, 11, 32768);
+        const auto p = HwModel::cost(SchemeKind::Prcat, m, 11, 32768);
+        const auto s = HwModel::cost(SchemeKind::Sca, m, 11, 32768);
+        table.addRow({TextTable::num(m),
+                      TextTable::sci(d.dynPerAccess, 2),
+                      TextTable::sci(d.staticPerInterval, 2),
+                      TextTable::sci(p.dynPerAccess, 2),
+                      TextTable::sci(p.staticPerInterval, 2),
+                      TextTable::sci(s.dynPerAccess, 2),
+                      TextTable::sci(s.staticPerInterval, 2),
+                      TextTable::sci(d.areaMm2, 2),
+                      TextTable::sci(p.areaMm2, 2),
+                      TextTable::sci(s.areaMm2, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(dynamic: nJ per row access; static: nJ per 64 ms "
+                 "refresh interval)\n";
+
+    std::cout << "\nPRNG for PRA (Srinivasan et al., 45 nm):\n";
+    TextTable prng({"metric", "value"});
+    prng.addRow({"area (mm2)",
+                 TextTable::sci(EnergyConstants::kPrngAreaMm2, 3)});
+    prng.addRow({"throughput (Gbps)", "2.4"});
+    prng.addRow({"power (mW)", "7"});
+    prng.addRow({"efficiency (nJ/b)",
+                 TextTable::sci(EnergyConstants::kPrngPerBitNj, 3)});
+    prng.addRow({"eng_PRNG, 9 bits (nJ)",
+                 TextTable::sci(9.0 * EnergyConstants::kPrngPerBitNj,
+                                3)});
+    prng.print(std::cout);
+
+    std::cout << "\nDerived checks: PRCAT64 vs SCA128 iso-area ratio = "
+              << TextTable::fixed(
+                     HwModel::cost(SchemeKind::Prcat, 64, 11, 32768)
+                             .areaMm2
+                         / HwModel::cost(SchemeKind::Sca, 128, 11,
+                                         32768)
+                               .areaMm2,
+                     3)
+              << "; DRCAT/PRCAT area overhead = "
+              << TextTable::pct(
+                     HwModel::cost(SchemeKind::Drcat, 64, 11, 32768)
+                             .areaMm2
+                             / HwModel::cost(SchemeKind::Prcat, 64, 11,
+                                             32768)
+                                   .areaMm2
+                         - 1.0,
+                     1)
+              << " (paper: ~4.2%)\n";
+    return 0;
+}

@@ -1,0 +1,161 @@
+#include "config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "logging.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+std::pair<std::string, std::string>
+splitPair(const std::string &token)
+{
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+        CATSIM_FATAL("config token '", token, "' is not key=value");
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+Config
+Config::fromArgs(int argc, const char *const *argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        auto [k, v] = splitPair(argv[i]);
+        cfg.set(k, v);
+    }
+    return cfg;
+}
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        CATSIM_FATAL("cannot open config file '", path, "'");
+    Config cfg;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto [k, v] = splitPair(line);
+        cfg.set(trim(k), trim(v));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stoll(it->second);
+    } catch (...) {
+        CATSIM_FATAL("config key '", key, "' value '", it->second,
+                     "' is not an integer");
+    }
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    const auto v = getInt(key, static_cast<std::int64_t>(def));
+    if (v < 0)
+        CATSIM_FATAL("config key '", key, "' must be non-negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stod(it->second);
+    } catch (...) {
+        CATSIM_FATAL("config key '", key, "' value '", it->second,
+                     "' is not a number");
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    CATSIM_FATAL("config key '", key, "' value '", v, "' is not boolean");
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+double
+experimentScale()
+{
+    const char *env = std::getenv("CATSIM_SCALE");
+    if (!env)
+        return 1.0;
+    try {
+        const double s = std::stod(env);
+        return s > 0.0 ? s : 1.0;
+    } catch (...) {
+        return 1.0;
+    }
+}
+
+} // namespace catsim

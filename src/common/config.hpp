@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lightweight key=value configuration with typed getters.
+ *
+ * Used by examples and bench binaries so experiments can be re-run with
+ * different parameters without recompiling.  Parsing accepts
+ * "key=value" tokens (command-line style) and simple config files with
+ * one pair per line; '#' starts a comment.
+ */
+
+#ifndef CATSIM_COMMON_CONFIG_HPP
+#define CATSIM_COMMON_CONFIG_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace catsim
+{
+
+/** String-keyed configuration dictionary. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv-style "key=value" tokens; unknown tokens are fatal. */
+    static Config fromArgs(int argc, const char *const *argv);
+
+    /** Parse a config file (one key=value per line, '#' comments). */
+    static Config fromFile(const std::string &path);
+
+    void set(const std::string &key, const std::string &value);
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** All keys, sorted (for reproducibility logging). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/**
+ * Global experiment scale factor from the CATSIM_SCALE environment
+ * variable (default 1.0).  Bench binaries multiply their access budgets
+ * by this so CI smoke runs and long faithful runs share one code path.
+ */
+double experimentScale();
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_CONFIG_HPP

@@ -1,0 +1,105 @@
+#include "lfsr.hpp"
+
+#include "logging.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+/**
+ * Maximal-length tap masks (Galois right-shift form) indexed by
+ * register width.  Values follow Koopman's published tables; every
+ * width below is verified maximal by tests/test_lfsr.cpp.
+ */
+std::uint64_t
+tapsForWidth(unsigned width)
+{
+    switch (width) {
+      case 2: return 0x3;
+      case 3: return 0x6;
+      case 4: return 0xC;
+      case 5: return 0x14;
+      case 6: return 0x30;
+      case 7: return 0x60;
+      case 8: return 0xB8;
+      case 9: return 0x110;
+      case 10: return 0x240;
+      case 11: return 0x500;
+      case 12: return 0xE08;
+      case 13: return 0x1C80;
+      case 14: return 0x3802;
+      case 15: return 0x6000;
+      case 16: return 0xD008;
+      case 17: return 0x12000;
+      case 18: return 0x20400;
+      case 19: return 0x72000;
+      case 20: return 0x90000;
+      case 21: return 0x140000;
+      case 22: return 0x300000;
+      case 23: return 0x420000;
+      case 24: return 0xE10000;
+      case 31: return 0x48000000;
+      case 32: return 0x80200003;
+      case 63: return 0x6000000000000000ULL;
+      case 64: return 0xD800000000000000ULL;
+      default:
+        CATSIM_FATAL("no maximal LFSR taps tabulated for width ", width);
+    }
+}
+
+} // namespace
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed)
+    : width_(width),
+      mask_(width >= 64 ? ~0ULL : ((1ULL << width) - 1)),
+      taps_(tapsForWidth(width)),
+      state_(seed & mask_)
+{
+    if (width < 2 || width > 64)
+        CATSIM_FATAL("LFSR width must be in [2, 64], got ", width);
+    if (state_ == 0)
+        state_ = 1;
+}
+
+unsigned
+Lfsr::shiftBit()
+{
+    // Galois (one-to-many) form: shift right, XOR the tap mask into
+    // the register when the output bit is one.  Koopman's published
+    // masks are maximal-length for exactly this update rule.
+    const unsigned out = static_cast<unsigned>(state_ & 1);
+    state_ >>= 1;
+    if (out)
+        state_ ^= taps_;
+    state_ &= mask_;
+    return out;
+}
+
+std::uint64_t
+Lfsr::nextBits(unsigned n)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v = (v << 1) | shiftBit();
+    return v;
+}
+
+double
+Lfsr::nextDouble()
+{
+    const unsigned n = width_ > 32 ? 32 : width_;
+    const double denom = static_cast<double>(1ULL << n);
+    return static_cast<double>(nextBits(n)) / denom;
+}
+
+std::uint64_t
+Lfsr::period() const
+{
+    if (width_ >= 64)
+        return ~0ULL;
+    return (1ULL << width_) - 1;
+}
+
+} // namespace catsim

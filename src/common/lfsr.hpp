@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Galois linear-feedback shift registers.
+ *
+ * The paper's Monte-Carlo study (Section III-A) shows that replacing
+ * PRA's true random number generator with a cheap LFSR-based PRNG
+ * "largely increases PRA's unsurvivability" because consecutive outputs
+ * are strongly correlated.  This class models such a generator: maximal-
+ * length taps for common widths, bit-serial shifting, and an n-bit word
+ * extraction that mirrors how a hardware PRA implementation would sample
+ * the register.
+ */
+
+#ifndef CATSIM_COMMON_LFSR_HPP
+#define CATSIM_COMMON_LFSR_HPP
+
+#include <cstdint>
+
+namespace catsim
+{
+
+/**
+ * Maximal-length Galois LFSR with configurable width (2..64 bits).
+ */
+class Lfsr
+{
+  public:
+    /**
+     * @param width Register width in bits; a maximal-length tap mask is
+     *              selected from a built-in table.
+     * @param seed  Initial register contents (must be non-zero after
+     *              masking; 0 is replaced with 1).
+     */
+    explicit Lfsr(unsigned width = 16, std::uint64_t seed = 0xACE1u);
+
+    /** Shift once; returns the output (bit 0 before shifting). */
+    unsigned shiftBit();
+
+    /** Extract an n-bit word by shifting n times (bit-serial hardware). */
+    std::uint64_t nextBits(unsigned n);
+
+    /**
+     * Pseudo-uniform double in [0,1) built from `width` fresh bits.
+     * Quality is deliberately poor for small widths - that is the point.
+     */
+    double nextDouble();
+
+    /** Current register value (for tests). */
+    std::uint64_t state() const { return state_; }
+
+    /** Sequence period for a maximal LFSR of this width: 2^width - 1. */
+    std::uint64_t period() const;
+
+    unsigned width() const { return width_; }
+
+  private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t taps_;
+    std::uint64_t state_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_LFSR_HPP

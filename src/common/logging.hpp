@@ -1,0 +1,63 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user errors (bad configuration) and exits with
+ * status 1; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef CATSIM_COMMON_LOGGING_HPP
+#define CATSIM_COMMON_LOGGING_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace catsim
+{
+
+namespace detail
+{
+
+/** Stream a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on a simulator bug.  Never returns. */
+#define CATSIM_PANIC(...) \
+    ::catsim::detail::panicImpl(__FILE__, __LINE__, \
+                                ::catsim::detail::concat(__VA_ARGS__))
+
+/** Exit(1) on a user/configuration error.  Never returns. */
+#define CATSIM_FATAL(...) \
+    ::catsim::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::catsim::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define CATSIM_WARN(...) \
+    ::catsim::detail::warnImpl(::catsim::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define CATSIM_INFORM(...) \
+    ::catsim::detail::informImpl(::catsim::detail::concat(__VA_ARGS__))
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_LOGGING_HPP

@@ -1,0 +1,83 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hpp"
+
+namespace catsim
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        CATSIM_PANIC("table row width ", row.size(), " != header width ",
+                     header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+TextTable::fixed(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::sci(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << (v * 100.0) << '%';
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace catsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the bench binaries to emit the
+ * paper's tables and figure series in a readable, diff-friendly form.
+ */
+
+#ifndef CATSIM_COMMON_TABLE_HPP
+#define CATSIM_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace catsim
+{
+
+/**
+ * Column-aligned text table.  Cells are strings; helpers format numbers
+ * with fixed precision or scientific notation.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a full row (must match header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with per-column padding to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers. */
+    static std::string fixed(double v, int precision = 2);
+    static std::string sci(double v, int precision = 2);
+    static std::string pct(double v, int precision = 2);
+    static std::string num(std::uint64_t v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_TABLE_HPP

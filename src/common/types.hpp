@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every catsim library.
+ */
+
+#ifndef CATSIM_COMMON_TYPES_HPP
+#define CATSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace catsim
+{
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** DRAM row index within one bank (banks have up to 2^20 rows here). */
+using RowAddr = std::uint32_t;
+
+/** Memory-bus clock cycle count (800 MHz DDR3 bus by default). */
+using Cycle = std::uint64_t;
+
+/** CPU core identifier. */
+using CoreId = std::uint32_t;
+
+/** Energy in nanojoules.  All energy bookkeeping uses nJ. */
+using NanoJoule = double;
+
+/** Power in milliwatts.  CMRPO is a ratio of mW quantities. */
+using MilliWatt = double;
+
+/** Count of events (row activations, refreshes, ...). */
+using Count = std::uint64_t;
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_TYPES_HPP

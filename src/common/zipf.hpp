@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Zipf-distributed integer sampling.
+ *
+ * DRAM row popularity in real workloads is heavily skewed (paper Fig 3:
+ * "a small group of rows dominate overall accesses").  The synthetic
+ * workload generators model row popularity with a Zipf(theta) law over a
+ * permuted row id space; this sampler provides O(1) amortized draws via
+ * rejection-inversion (W. Hormann, G. Derflinger, 1996), which stays fast
+ * for the 64K-1M element ranges used by the bank model.
+ */
+
+#ifndef CATSIM_COMMON_ZIPF_HPP
+#define CATSIM_COMMON_ZIPF_HPP
+
+#include <cstdint>
+
+#include "rng.hpp"
+
+namespace catsim
+{
+
+/**
+ * Samples k in [0, n) with P(k) proportional to 1/(k+1)^theta.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of items (> 0).
+     * @param theta Skew parameter; 0 gives uniform, ~0.99 is the classic
+     *              YCSB hot-set skew, larger is hotter.
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one sample using the supplied RNG. */
+    std::uint64_t sample(Xoshiro256StarStar &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double hImaxInv_;
+    double hX0_;
+    double s_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_ZIPF_HPP

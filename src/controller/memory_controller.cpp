@@ -1,0 +1,140 @@
+#include "memory_controller.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+MemoryController::MemoryController(DramSystem &dram,
+                                   const AddressMapper &mapper,
+                                   const SchemeConfig &scheme_config)
+    : dram_(dram), mapper_(mapper)
+{
+    const auto &geom = dram.geometry();
+    schemes_.reserve(geom.totalBanks());
+    for (std::uint32_t b = 0; b < geom.totalBanks(); ++b) {
+        SchemeConfig cfg = scheme_config;
+        // Per-bank PRNG seeds keep PRA decisions independent per bank.
+        cfg.seed = scheme_config.seed * 1000003ULL + b;
+        schemes_.push_back(makeScheme(cfg, geom.rowsPerBank));
+    }
+    writeQ_.resize(geom.channels);
+}
+
+Cycle
+MemoryController::issue(const MemRequest &req, Cycle not_before)
+{
+    const BankId bid = req.loc.bankId();
+    const Cycle at = dram_.earliestIssue(bid, not_before);
+    const Cycle done = dram_.access(bid, req.loc.row, req.isWrite, at);
+
+    const std::uint32_t flat = bid.flat(dram_.geometry());
+    if (observer_)
+        observer_(flat, req.loc.row);
+    MitigationScheme *scheme = schemes_[flat].get();
+    if (scheme) {
+        const RefreshAction act = scheme->onActivate(req.loc.row);
+        if (act.triggered()) {
+            dram_.victimRefresh(bid, act.rowCount, at);
+            ++stats_.victimRefreshEvents;
+            stats_.victimRowsRefreshed += act.rowCount;
+        }
+    }
+    if (done > stats_.lastCompletion)
+        stats_.lastCompletion = done;
+    return done;
+}
+
+Cycle
+MemoryController::submitRead(MemRequest req)
+{
+    req.loc = mapper_.map(req.addr);
+    ++stats_.reads;
+    // Write-drain has priority when the queue is saturated; otherwise
+    // reads bypass queued writes (standard read-priority scheduling).
+    auto &wq = writeQ_[req.loc.channel];
+    if (wq.size() >= kWriteQueueCapacity) {
+        drainWrites(req.loc.channel, kWriteDrainLow, req.arrival);
+        ++stats_.writeDrains;
+    }
+    return issue(req, req.arrival);
+}
+
+Cycle
+MemoryController::submitWrite(MemRequest req)
+{
+    req.loc = mapper_.map(req.addr);
+    ++stats_.writes;
+    auto &wq = writeQ_[req.loc.channel];
+    if (wq.size() >= kWriteQueueCapacity) {
+        drainWrites(req.loc.channel, kWriteDrainLow, req.arrival);
+        ++stats_.writeDrains;
+    }
+    wq.push_back(req);
+    return req.arrival;
+}
+
+void
+MemoryController::drainWrites(std::uint32_t channel, std::size_t down_to,
+                              Cycle now)
+{
+    auto &wq = writeQ_[channel];
+    std::size_t n = 0;
+    while (wq.size() - n > down_to) {
+        issue(wq[n], now);
+        ++n;
+    }
+    wq.erase(wq.begin(), wq.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void
+MemoryController::drainAllWrites(Cycle now)
+{
+    for (std::uint32_t ch = 0; ch < writeQ_.size(); ++ch)
+        drainWrites(ch, 0, now);
+}
+
+void
+MemoryController::onEpoch()
+{
+    for (auto &s : schemes_) {
+        if (s)
+            s->onEpoch();
+    }
+}
+
+const MitigationScheme *
+MemoryController::scheme(std::uint32_t bank_flat) const
+{
+    return schemes_.at(bank_flat).get();
+}
+
+SchemeStats
+MemoryController::combinedSchemeStats() const
+{
+    SchemeStats sum;
+    for (const auto &s : schemes_) {
+        if (!s)
+            continue;
+        const SchemeStats &st = s->stats();
+        sum.activations += st.activations;
+        sum.refreshEvents += st.refreshEvents;
+        sum.victimRowsRefreshed += st.victimRowsRefreshed;
+        sum.sramAccesses += st.sramAccesses;
+        sum.prngBits += st.prngBits;
+        sum.splits += st.splits;
+        sum.merges += st.merges;
+        sum.epochResets += st.epochResets;
+        sum.counterDramReads += st.counterDramReads;
+        sum.counterDramWrites += st.counterDramWrites;
+    }
+    return sum;
+}
+
+void
+MemoryController::setActivationObserver(ActivationObserver obs)
+{
+    observer_ = std::move(obs);
+}
+
+} // namespace catsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The Counter-based Adaptive Tree (paper Section IV).
+ *
+ * The tree partitions a bank's N rows into variable-size groups, one
+ * active counter per group.  It is stored SRAM-style (paper Fig 5): an
+ * array I of at most M-1 intermediate nodes, each holding left/right
+ * pointers plus leaf flags, and an array C of M counters.  A row
+ * address is located by chasing pointers from the root; the address bit
+ * at each depth selects the child.
+ *
+ * Growth (Algorithm 1): when a leaf counter at depth d reaches the
+ * split threshold T_d, a free counter is cloned from it and the group
+ * halves; at depth L-1 (or when no counter is free) the threshold is
+ * the refresh threshold T, and reaching it refreshes every row in the
+ * group plus the two rows adjacent to the group, then resets the
+ * counter.
+ *
+ * The tree starts from a balanced "pre-split" shape with lambda =
+ * log2(M) levels (M/2 active counters at depth log2(M)-1), which also
+ * bounds pointer chasing to L - log2(M/4) SRAM accesses per activation
+ * (Section IV-C).
+ *
+ * DRCAT support (Section V-B): a 2-bit weight per counter tracks how
+ * often its group triggers refreshes.  When a counter's weight
+ * saturates, a cold pair of sibling leaves (both weights zero) is
+ * merged and the freed counter splits the hot leaf (Fig 7).
+ */
+
+#ifndef CATSIM_CORE_CAT_TREE_HPP
+#define CATSIM_CORE_CAT_TREE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace catsim
+{
+
+/** Adaptive tree of activation counters for one DRAM bank. */
+class CatTree
+{
+  public:
+    /** Construction parameters. */
+    struct Params
+    {
+        RowAddr numRows = 65536;           //!< N (power of two)
+        std::uint32_t numCounters = 64;    //!< M (power of two >= 2)
+        std::uint32_t maxLevels = 11;      //!< L
+        std::uint32_t refreshThreshold = 32768; //!< T
+        /** Split threshold per depth, size L, last element == T. */
+        std::vector<std::uint32_t> splitThresholds;
+        bool enableWeights = false;        //!< DRCAT reconfiguration
+    };
+
+    /** Outcome of one activation. */
+    struct AccessResult
+    {
+        bool refreshed = false;
+        RowAddr lo = 0;                //!< victim range incl. neighbors
+        RowAddr hi = 0;
+        Count rowsRefreshed = 0;
+        std::uint32_t sramAccesses = 0;
+        bool didSplit = false;
+        bool didReconfigure = false;   //!< DRCAT merge+split happened
+        std::uint32_t leafDepth = 0;
+    };
+
+    explicit CatTree(Params params);
+
+    /** Record one activation of @p row and apply Algorithm 1. */
+    AccessResult access(RowAddr row);
+
+    /** Rebuild the pre-split balanced tree and zero all state. */
+    void reset();
+
+    /**
+     * Zero every counter but keep the learned tree shape and weights
+     * (DRCAT epoch behaviour: retention refresh clears disturbance, so
+     * counts restart, while the adaptation survives).
+     */
+    void resetCountsOnly();
+
+    /** Number of active (leaf) counters. */
+    std::uint32_t activeCounters() const { return activeCounters_; }
+
+    /** Depth of the leaf currently covering @p row (non-mutating). */
+    std::uint32_t leafDepth(RowAddr row) const;
+
+    /** Count held by the leaf covering @p row (non-mutating). */
+    std::uint32_t counterValue(RowAddr row) const;
+
+    /** Row range [lo, hi] covered by the leaf for @p row. */
+    std::pair<RowAddr, RowAddr> leafRange(RowAddr row) const;
+
+    /** Weight register of the leaf covering @p row (DRCAT). */
+    std::uint32_t leafWeight(RowAddr row) const;
+
+    /** Deepest leaf in the whole tree (for tests). */
+    std::uint32_t maxLeafDepth() const;
+
+    /**
+     * Validate structural invariants: leaves partition [0, N-1], active
+     * counter count matches the tree, no depth exceeds L-1, counts stay
+     * below/at their thresholds, free lists are consistent.
+     *
+     * @param why Optional out-parameter describing the first violation.
+     * @retval true when all invariants hold.
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
+
+    const Params &params() const { return params_; }
+    Count totalSplits() const { return splits_; }
+    Count totalMerges() const { return merges_; }
+
+  private:
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+    struct INode
+    {
+        std::uint32_t l = kNone;
+        std::uint32_t r = kNone;
+        bool lleaf = true;
+        bool rleaf = true;
+    };
+
+    /** Traversal bookkeeping for the leaf covering a row. */
+    struct Walk
+    {
+        std::uint32_t counter = 0;   //!< leaf counter index
+        std::uint32_t depth = 0;
+        RowAddr lo = 0;
+        RowAddr hi = 0;
+        std::uint32_t parent = kNone; //!< inode above the leaf
+        bool parentRight = false;     //!< which child slot we came from
+    };
+
+    Walk walkTo(RowAddr row) const;
+    std::uint32_t thresholdAt(std::uint32_t depth, RowAddr lo,
+                              RowAddr hi) const;
+    bool canSplit(const Walk &w) const;
+    void splitLeaf(const Walk &w, std::uint32_t new_counter,
+                   std::uint32_t new_inode);
+    std::uint32_t allocCounter();
+    std::uint32_t allocInode();
+    bool tryReconfigure(const Walk &hot);
+    std::uint32_t inodeDepth(std::uint32_t inode) const;
+    void presplit(std::uint32_t parent, bool right, std::uint32_t counter,
+                  std::uint32_t depth, std::uint32_t target_depth);
+    bool walkInvariants(std::uint32_t ptr, bool is_leaf, RowAddr lo,
+                        RowAddr hi, std::uint32_t depth,
+                        std::vector<bool> &seen_counters,
+                        std::vector<bool> &seen_inodes,
+                        std::string *why) const;
+
+    Params params_;
+    std::uint32_t presplitDepth_;   //!< depth of initial leaves
+    std::vector<INode> inodes_;
+    std::vector<std::uint32_t> inodeParent_;     //!< kNone for root
+    std::vector<bool> inodeParentRight_;
+    std::vector<bool> inodeInUse_;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::uint8_t> weights_;
+    std::vector<bool> counterInUse_;
+    std::vector<std::uint32_t> freeCounters_;    //!< stack
+    std::vector<std::uint32_t> freeInodes_;      //!< stack
+    std::uint32_t rootPtr_ = 0;
+    bool rootIsLeaf_ = true;
+    std::uint32_t activeCounters_ = 1;
+    Count splits_ = 0;
+    Count merges_ = 0;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_CAT_TREE_HPP

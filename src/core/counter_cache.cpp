@@ -1,0 +1,92 @@
+#include "counter_cache.hpp"
+
+#include "core/pra.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+CounterCache::CounterCache(RowAddr num_rows,
+                           std::uint32_t cache_counters,
+                           std::uint32_t ways, std::uint32_t threshold)
+    : MitigationScheme(num_rows),
+      cacheCounters_(cache_counters),
+      ways_(ways),
+      sets_(cache_counters / ways),
+      threshold_(threshold),
+      backing_(num_rows, 0)
+{
+    if (ways == 0 || cache_counters % ways != 0)
+        CATSIM_FATAL("counter cache capacity (", cache_counters,
+                     ") must be a multiple of ways (", ways, ")");
+    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+RefreshAction
+CounterCache::onActivate(RowAddr row)
+{
+    ++stats_.activations;
+    ++tick_;
+
+    const std::uint32_t set = row % sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+
+    Line *hit = nullptr;
+    Line *victim = &base[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &ln = base[w];
+        if (ln.valid && ln.tag == row) {
+            hit = &ln;
+            break;
+        }
+        if (!ln.valid) {
+            victim = &ln;
+        } else if (victim->valid && ln.lastUse < victim->lastUse) {
+            victim = &ln;
+        }
+    }
+
+    if (hit) {
+        ++hits_;
+        stats_.sramAccesses += 2; // tag+data read, data write
+        hit->lastUse = tick_;
+    } else {
+        ++misses_;
+        stats_.sramAccesses += 2;
+        // Evict (write the old counter back to DRAM) and fill.
+        if (victim->valid)
+            ++stats_.counterDramWrites;
+        ++stats_.counterDramReads;
+        victim->tag = row;
+        victim->valid = true;
+        victim->lastUse = tick_;
+    }
+
+    if (++backing_[row] < threshold_)
+        return {};
+
+    backing_[row] = 0;
+    // Exact tracking: refresh only the two physical neighbors.
+    const RefreshAction act =
+        neighborRefresh(row, numRows_, adjacency_);
+    ++stats_.refreshEvents;
+    stats_.victimRowsRefreshed += act.rowCount;
+    return act;
+}
+
+void
+CounterCache::onEpoch()
+{
+    std::fill(backing_.begin(), backing_.end(), 0);
+}
+
+std::string
+CounterCache::name() const
+{
+    return "CC_" + std::to_string(cacheCounters_);
+}
+
+} // namespace catsim

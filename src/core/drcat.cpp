@@ -1,0 +1,30 @@
+#include "drcat.hpp"
+
+namespace catsim
+{
+
+Drcat::Drcat(RowAddr num_rows, std::uint32_t num_counters,
+             std::uint32_t max_levels, std::uint32_t threshold)
+    : Prcat(num_rows, num_counters, max_levels, threshold, true)
+{
+}
+
+void
+Drcat::onEpoch()
+{
+    // Retention refresh clears disturbance, so the counts restart, but
+    // the learned tree shape and weights survive - that is the point of
+    // DRCAT.  Counter values are conservative upper bounds, so leaving
+    // them would only cause early refreshes; the paper resets counts at
+    // the epoch because the 64 ms retention refresh rewrites every row.
+    tree_.resetCountsOnly();
+    ++stats_.epochResets;
+}
+
+std::string
+Drcat::name() const
+{
+    return "DRCAT_" + std::to_string(tree_.params().numCounters);
+}
+
+} // namespace catsim

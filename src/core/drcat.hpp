@@ -1,0 +1,33 @@
+/**
+ * @file
+ * DRCAT - Dynamically Reconfigured CAT (paper Section V-B).
+ *
+ * Instead of resetting the tree every 64 ms, DRCAT keeps a 2-bit weight
+ * per counter that tracks which groups keep triggering refreshes.  When
+ * a weight saturates, a pair of cold sibling leaves is merged and the
+ * freed counter subdivides the hot leaf, so the tree follows the
+ * workload's hot spots across epochs and application phases.
+ */
+
+#ifndef CATSIM_CORE_DRCAT_HPP
+#define CATSIM_CORE_DRCAT_HPP
+
+#include "core/prcat.hpp"
+
+namespace catsim
+{
+
+/** CAT scheme with weight-driven dynamic reconfiguration. */
+class Drcat : public Prcat
+{
+  public:
+    Drcat(RowAddr num_rows, std::uint32_t num_counters,
+          std::uint32_t max_levels, std::uint32_t threshold);
+
+    void onEpoch() override;
+    std::string name() const override;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_DRCAT_HPP

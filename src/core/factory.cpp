@@ -1,0 +1,98 @@
+#include "factory.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/counter_cache.hpp"
+#include "core/drcat.hpp"
+#include "core/pra.hpp"
+#include "core/prcat.hpp"
+#include "core/sca.hpp"
+
+namespace catsim
+{
+
+std::string
+SchemeConfig::label() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case SchemeKind::None:
+        os << "none";
+        break;
+      case SchemeKind::Sca:
+        os << "SCA_" << numCounters;
+        break;
+      case SchemeKind::Pra:
+        os << "PRA_" << praProbability;
+        break;
+      case SchemeKind::Prcat:
+        os << "PRCAT_" << numCounters;
+        break;
+      case SchemeKind::Drcat:
+        os << "DRCAT_" << numCounters;
+        break;
+      case SchemeKind::CounterCache:
+        os << "CC_" << numCounters;
+        break;
+    }
+    return os.str();
+}
+
+SchemeKind
+parseSchemeKind(const std::string &name)
+{
+    std::string s = name;
+    std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+    if (s == "none")
+        return SchemeKind::None;
+    if (s == "sca")
+        return SchemeKind::Sca;
+    if (s == "pra")
+        return SchemeKind::Pra;
+    if (s == "prcat")
+        return SchemeKind::Prcat;
+    if (s == "drcat")
+        return SchemeKind::Drcat;
+    if (s == "cc" || s == "countercache")
+        return SchemeKind::CounterCache;
+    CATSIM_FATAL("unknown scheme '", name, "'");
+}
+
+std::unique_ptr<MitigationScheme>
+makeScheme(const SchemeConfig &config, RowAddr num_rows)
+{
+    switch (config.kind) {
+      case SchemeKind::None:
+        return nullptr;
+      case SchemeKind::Sca:
+        return std::make_unique<Sca>(num_rows, config.numCounters,
+                                     config.threshold);
+      case SchemeKind::Pra: {
+        std::unique_ptr<PrngSource> prng;
+        if (config.lfsrPrng)
+            prng = std::make_unique<LfsrPrng>(16, config.seed | 1);
+        else
+            prng = std::make_unique<TruePrng>(config.seed);
+        return std::make_unique<Pra>(num_rows, config.praProbability,
+                                     std::move(prng));
+      }
+      case SchemeKind::Prcat:
+        return std::make_unique<Prcat>(num_rows, config.numCounters,
+                                       config.maxLevels,
+                                       config.threshold);
+      case SchemeKind::Drcat:
+        return std::make_unique<Drcat>(num_rows, config.numCounters,
+                                       config.maxLevels,
+                                       config.threshold);
+      case SchemeKind::CounterCache:
+        return std::make_unique<CounterCache>(num_rows,
+                                              config.numCounters,
+                                              config.cacheWays,
+                                              config.threshold);
+    }
+    CATSIM_PANIC("unreachable scheme kind");
+}
+
+} // namespace catsim

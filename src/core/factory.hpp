@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Construction of mitigation schemes by name, used by the simulators,
+ * bench binaries and examples.
+ */
+
+#ifndef CATSIM_CORE_FACTORY_HPP
+#define CATSIM_CORE_FACTORY_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/mitigation.hpp"
+
+namespace catsim
+{
+
+/** Which mitigation scheme to build. */
+enum class SchemeKind
+{
+    None,  //!< no mitigation (baseline runs)
+    Sca,
+    Pra,
+    Prcat,
+    Drcat,
+    CounterCache,
+};
+
+/** Parameters shared by all schemes; unused fields are ignored. */
+struct SchemeConfig
+{
+    SchemeKind kind = SchemeKind::Drcat;
+    std::uint32_t numCounters = 64;  //!< M (SCA/CAT) or cache capacity
+    std::uint32_t maxLevels = 11;    //!< L (CAT only)
+    std::uint32_t threshold = 32768; //!< refresh threshold T
+    double praProbability = 0.002;   //!< p (PRA only)
+    std::uint32_t cacheWays = 8;     //!< counter-cache associativity
+    std::uint64_t seed = 1;          //!< PRNG seed (PRA only)
+    bool lfsrPrng = false;           //!< use the cheap LFSR for PRA
+
+    /** Human-readable label, e.g. "DRCAT_64". */
+    std::string label() const;
+};
+
+/** Parse "none|sca|pra|prcat|drcat|cc" (case-insensitive). */
+SchemeKind parseSchemeKind(const std::string &name);
+
+/**
+ * Build one per-bank scheme instance; returns nullptr for
+ * SchemeKind::None.
+ */
+std::unique_ptr<MitigationScheme> makeScheme(const SchemeConfig &config,
+                                             RowAddr num_rows);
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_FACTORY_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Abstract interface for wordline-crosstalk (row hammer) mitigation
+ * schemes.
+ *
+ * A scheme instance watches the row-activation stream of ONE DRAM bank.
+ * For every activation it may order a victim-row refresh; the memory
+ * controller executes the refresh, blocking the bank (the source of the
+ * paper's ETO metric).  Schemes also accumulate the event counts that
+ * the energy model (src/energy) converts into CMRPO.
+ */
+
+#ifndef CATSIM_CORE_MITIGATION_HPP
+#define CATSIM_CORE_MITIGATION_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace catsim
+{
+
+/**
+ * Victim-refresh order returned by a scheme for one activation.
+ *
+ * `rowCount` is the number of rows actually refreshed (what costs energy
+ * and bank time).  [lo, hi] is the affected address range; for PRA the
+ * two victims are non-contiguous (row-1 and row+1) so rowCount < span.
+ */
+struct RefreshAction
+{
+    Count rowCount = 0;
+    RowAddr lo = 0;
+    RowAddr hi = 0;
+
+    bool triggered() const { return rowCount > 0; }
+};
+
+/** Event counts accumulated by a scheme; input to the energy model. */
+struct SchemeStats
+{
+    Count activations = 0;          //!< row ACTs observed
+    Count refreshEvents = 0;        //!< times a refresh was ordered
+    Count victimRowsRefreshed = 0;  //!< total rows refreshed
+    Count sramAccesses = 0;         //!< on-chip SRAM reads+writes
+    Count prngBits = 0;             //!< random bits generated (PRA)
+    Count splits = 0;               //!< CAT counter splits
+    Count merges = 0;               //!< DRCAT merge-reconfigurations
+    Count epochResets = 0;          //!< PRCAT periodic resets
+    Count counterDramReads = 0;     //!< counter-cache misses -> DRAM
+    Count counterDramWrites = 0;    //!< counter-cache writebacks
+};
+
+/**
+ * Base class for all mitigation schemes.  One instance per bank.
+ */
+class MitigationScheme
+{
+  public:
+    explicit MitigationScheme(RowAddr num_rows) : numRows_(num_rows) {}
+    virtual ~MitigationScheme() = default;
+
+    MitigationScheme(const MitigationScheme &) = delete;
+    MitigationScheme &operator=(const MitigationScheme &) = delete;
+
+    /**
+     * Observe one activation of @p row; returns the victim-refresh
+     * order (rowCount == 0 when nothing is to be done).
+     */
+    virtual RefreshAction onActivate(RowAddr row) = 0;
+
+    /**
+     * Auto-refresh epoch boundary (every 64 ms).  Retention refresh
+     * clears accumulated disturbance, so counting schemes reset here.
+     */
+    virtual void onEpoch() {}
+
+    /** Scheme name for reports, e.g. "DRCAT_64". */
+    virtual std::string name() const = 0;
+
+    const SchemeStats &stats() const { return stats_; }
+    RowAddr numRows() const { return numRows_; }
+
+  protected:
+    /** Clamp a victim range to the bank and fill a RefreshAction. */
+    RefreshAction
+    makeRangeRefresh(std::int64_t lo, std::int64_t hi)
+    {
+        if (lo < 0)
+            lo = 0;
+        if (hi > static_cast<std::int64_t>(numRows_) - 1)
+            hi = static_cast<std::int64_t>(numRows_) - 1;
+        RefreshAction act;
+        act.lo = static_cast<RowAddr>(lo);
+        act.hi = static_cast<RowAddr>(hi);
+        act.rowCount = static_cast<Count>(hi - lo + 1);
+        ++stats_.refreshEvents;
+        stats_.victimRowsRefreshed += act.rowCount;
+        return act;
+    }
+
+    SchemeStats stats_;
+    RowAddr numRows_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_MITIGATION_HPP

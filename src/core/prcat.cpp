@@ -1,0 +1,74 @@
+#include "prcat.hpp"
+
+#include "core/split_thresholds.hpp"
+
+namespace catsim
+{
+
+CatTree::Params
+Prcat::makeParams(RowAddr num_rows, std::uint32_t num_counters,
+                  std::uint32_t max_levels, std::uint32_t threshold,
+                  bool enable_weights)
+{
+    CatTree::Params p;
+    p.numRows = num_rows;
+    p.numCounters = num_counters;
+    p.maxLevels = max_levels;
+    p.refreshThreshold = threshold;
+    p.splitThresholds =
+        computeSplitThresholds(num_counters, max_levels, threshold);
+    p.enableWeights = enable_weights;
+    return p;
+}
+
+Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
+             std::uint32_t max_levels, std::uint32_t threshold)
+    : Prcat(num_rows, num_counters, max_levels, threshold, false)
+{
+}
+
+Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
+             std::uint32_t max_levels, std::uint32_t threshold,
+             bool enable_weights)
+    : MitigationScheme(num_rows),
+      tree_(makeParams(num_rows, num_counters, max_levels, threshold,
+                       enable_weights))
+{
+}
+
+RefreshAction
+Prcat::onActivate(RowAddr row)
+{
+    ++stats_.activations;
+    const auto r = tree_.access(row);
+    stats_.sramAccesses += r.sramAccesses;
+    if (r.didSplit)
+        ++stats_.splits;
+    if (r.didReconfigure)
+        ++stats_.merges;
+    if (!r.refreshed)
+        return {};
+
+    RefreshAction act;
+    act.lo = r.lo;
+    act.hi = r.hi;
+    act.rowCount = r.rowsRefreshed;
+    ++stats_.refreshEvents;
+    stats_.victimRowsRefreshed += act.rowCount;
+    return act;
+}
+
+void
+Prcat::onEpoch()
+{
+    tree_.reset();
+    ++stats_.epochResets;
+}
+
+std::string
+Prcat::name() const
+{
+    return "PRCAT_" + std::to_string(tree_.params().numCounters);
+}
+
+} // namespace catsim

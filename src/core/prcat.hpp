@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PRCAT - Periodically Reset CAT (paper Section V-A).
+ *
+ * The adaptive tree is torn down and rebuilt at every auto-refresh
+ * epoch (64 ms), so each retention interval starts from the balanced
+ * pre-split shape and re-learns the access pattern.
+ */
+
+#ifndef CATSIM_CORE_PRCAT_HPP
+#define CATSIM_CORE_PRCAT_HPP
+
+#include "core/cat_tree.hpp"
+#include "core/mitigation.hpp"
+
+namespace catsim
+{
+
+/** CAT scheme with periodic full reset. */
+class Prcat : public MitigationScheme
+{
+  public:
+    /**
+     * @param num_rows    Rows per bank (N).
+     * @param num_counters Counters per bank (M, power of two).
+     * @param max_levels  Maximum tree levels (L).
+     * @param threshold   Refresh threshold (T).
+     */
+    Prcat(RowAddr num_rows, std::uint32_t num_counters,
+          std::uint32_t max_levels, std::uint32_t threshold);
+
+    RefreshAction onActivate(RowAddr row) override;
+    void onEpoch() override;
+    std::string name() const override;
+
+    const CatTree &tree() const { return tree_; }
+
+  protected:
+    Prcat(RowAddr num_rows, std::uint32_t num_counters,
+          std::uint32_t max_levels, std::uint32_t threshold,
+          bool enable_weights);
+
+    CatTree tree_;
+
+  private:
+    static CatTree::Params makeParams(RowAddr num_rows,
+                                      std::uint32_t num_counters,
+                                      std::uint32_t max_levels,
+                                      std::uint32_t threshold,
+                                      bool enable_weights);
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_PRCAT_HPP

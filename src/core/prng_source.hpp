@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Random-bit sources for PRA.
+ *
+ * The paper's reliability analysis (Section III-A) holds only when PRA
+ * draws from a true/high-quality PRNG; a cheap LFSR-based PRNG produces
+ * correlated decisions and ruins unsurvivability.  Both are modeled so
+ * the Monte-Carlo study in src/reliability can contrast them.
+ */
+
+#ifndef CATSIM_CORE_PRNG_SOURCE_HPP
+#define CATSIM_CORE_PRNG_SOURCE_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "common/lfsr.hpp"
+#include "common/rng.hpp"
+
+namespace catsim
+{
+
+/** Abstract n-bit random word source. */
+class PrngSource
+{
+  public:
+    virtual ~PrngSource() = default;
+
+    /** Produce an n-bit word (n <= 32). */
+    virtual std::uint32_t nextBits(unsigned n) = 0;
+
+    /** Human-readable kind for reports. */
+    virtual const char *kind() const = 0;
+};
+
+/**
+ * High-quality generator modeling the all-digital true RNG of
+ * Srinivasan et al. (VLSIC 2010) that the paper assumes for PRA.
+ */
+class TruePrng : public PrngSource
+{
+  public:
+    explicit TruePrng(std::uint64_t seed = 0x9E3779B9u) : rng_(seed) {}
+
+    std::uint32_t
+    nextBits(unsigned n) override
+    {
+        return static_cast<std::uint32_t>(rng_.next()
+                                          >> (64u - (n ? n : 1u)));
+    }
+
+    const char *kind() const override { return "true-prng"; }
+
+  private:
+    Xoshiro256StarStar rng_;
+};
+
+/** Cheap LFSR-based generator (Section III-A Monte-Carlo study). */
+class LfsrPrng : public PrngSource
+{
+  public:
+    explicit LfsrPrng(unsigned width = 16, std::uint64_t seed = 0xACE1u)
+        : lfsr_(width, seed)
+    {
+    }
+
+    std::uint32_t
+    nextBits(unsigned n) override
+    {
+        return static_cast<std::uint32_t>(lfsr_.nextBits(n));
+    }
+
+    const char *kind() const override { return "lfsr-prng"; }
+
+  private:
+    Lfsr lfsr_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_PRNG_SOURCE_HPP

@@ -1,0 +1,61 @@
+#include "sca.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+Sca::Sca(RowAddr num_rows, std::uint32_t num_counters,
+         std::uint32_t threshold)
+    : MitigationScheme(num_rows),
+      numCounters_(num_counters),
+      groupSize_(num_rows / num_counters),
+      threshold_(threshold),
+      counters_(num_counters, 0)
+{
+    if (num_counters == 0 || num_rows % num_counters != 0)
+        CATSIM_FATAL("SCA requires counters (", num_counters,
+                     ") to divide rows (", num_rows, ")");
+    if (threshold < 2)
+        CATSIM_FATAL("SCA refresh threshold must be >= 2");
+}
+
+RefreshAction
+Sca::onActivate(RowAddr row)
+{
+    ++stats_.activations;
+    // One SRAM read + one write per activation (paper Section VII-A).
+    stats_.sramAccesses += 2;
+
+    const std::uint32_t group = row / groupSize_;
+    if (++counters_[group] < threshold_)
+        return {};
+
+    counters_[group] = 0;
+    const std::int64_t lo =
+        static_cast<std::int64_t>(group) * groupSize_ - 1;
+    const std::int64_t hi =
+        static_cast<std::int64_t>(group + 1) * groupSize_;
+    return makeRangeRefresh(lo, hi);
+}
+
+void
+Sca::onEpoch()
+{
+    // Retention refresh clears disturbance; restart all counts.
+    std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+std::string
+Sca::name() const
+{
+    return "SCA_" + std::to_string(numCounters_);
+}
+
+std::uint32_t
+Sca::counterValue(std::uint32_t group) const
+{
+    return counters_.at(group);
+}
+
+} // namespace catsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Split-threshold schedule for the Counter-based Adaptive Tree
+ * (paper Section IV-D).
+ *
+ * The CAT grows from a balanced tree with lambda = log2(M) levels
+ * (M/2 counters at depth log2(M)-1) to at most L levels.  A counter at
+ * depth d splits when its count reaches the split threshold T_d; at
+ * depth L-1 the threshold is the refresh threshold T and reaching it
+ * refreshes the leaf's row range.
+ *
+ * The paper publishes two anchor schedules derived from its cost model:
+ *   M=4:              T1 = T/4,  T2 = T/2
+ *   M=64, L=10, T=32768: T5=5155, T6=10309, T7=12886, T8=16384, T9=T
+ * The generalized derivation lives in an unavailable technical report,
+ * so computeSplitThresholds() uses (a) the published (M=64, L=10)
+ * schedule, scaled linearly with T, as a calibration table, and (b) a
+ * generic rule for other configurations:
+ *   T_{L-2} = T/2;  T_j = T_{j+1} / 2^(1/3) for j in (m-1, L-2);
+ *   T_{m-1} = T_m / 2    (m = log2(M))
+ * which matches both anchors to within 1 % (see DESIGN.md Section 4).
+ */
+
+#ifndef CATSIM_CORE_SPLIT_THRESHOLDS_HPP
+#define CATSIM_CORE_SPLIT_THRESHOLDS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace catsim
+{
+
+/**
+ * Compute the per-depth split-threshold schedule.
+ *
+ * @param num_counters M, a power of two >= 2.
+ * @param max_levels   L; the tree has depths 0..L-1.
+ * @param threshold    Refresh threshold T.
+ * @return Vector of size L; element d is the split threshold used by a
+ *         counter at depth d (element L-1 equals T).  Depths below the
+ *         initial balanced tree (d < log2(M)-1) reuse the first real
+ *         threshold; they never trigger in practice.
+ */
+std::vector<std::uint32_t> computeSplitThresholds(
+    std::uint32_t num_counters, std::uint32_t max_levels,
+    std::uint32_t threshold);
+
+/** True when computeSplitThresholds will use the calibrated table. */
+bool splitThresholdsCalibrated(std::uint32_t num_counters,
+                               std::uint32_t max_levels);
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_SPLIT_THRESHOLDS_HPP

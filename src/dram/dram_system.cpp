@@ -1,0 +1,107 @@
+#include "dram_system.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+DramSystem::DramSystem(const DramGeometry &geometry,
+                       const DramTiming &timing)
+    : geometry_(geometry), timing_(timing)
+{
+    const auto nBanks = geometry_.totalBanks();
+    banks_.reserve(nBanks);
+    for (std::uint32_t i = 0; i < nBanks; ++i)
+        banks_.emplace_back(timing_);
+    const auto nRanks = geometry_.channels * geometry_.ranksPerChannel;
+    ranks_.reserve(nRanks);
+    for (std::uint32_t i = 0; i < nRanks; ++i)
+        ranks_.emplace_back(timing_);
+    busFreeAt_.assign(geometry_.channels, 0);
+}
+
+Rank &
+DramSystem::rankOf(const BankId &id)
+{
+    return ranks_[id.channel * geometry_.ranksPerChannel + id.rank];
+}
+
+void
+DramSystem::applyAutoRefresh(const BankId &id, Cycle now)
+{
+    Rank &rank = rankOf(id);
+    // Catch up on any auto-refresh windows that opened before `now`.
+    while (true) {
+        const Cycle end = rank.autoRefreshDue(now);
+        if (end == 0)
+            break;
+        for (std::uint32_t b = 0; b < geometry_.banksPerRank; ++b) {
+            BankId bid{id.channel, id.rank, b};
+            banks_[bid.flat(geometry_)].blockUntil(end);
+        }
+    }
+}
+
+Cycle
+DramSystem::earliestIssue(const BankId &id, Cycle now)
+{
+    applyAutoRefresh(id, now);
+    Cycle t = banks_[id.flat(geometry_)].earliestActivate(now);
+    t = rankOf(id).earliestActivate(t);
+    // The data burst needs the channel bus tRCD+tCAS after the ACT.
+    const Cycle burstStart = t + timing_.tRCD + timing_.tCAS;
+    if (busFreeAt_[id.channel] > burstStart)
+        t += busFreeAt_[id.channel] - burstStart;
+    return t;
+}
+
+Cycle
+DramSystem::access(const BankId &id, RowAddr row, bool is_write,
+                   Cycle issue)
+{
+    Bank &bank = banks_[id.flat(geometry_)];
+    const Cycle ready = bank.access(issue, row, is_write);
+    rankOf(id).recordActivate(issue);
+    const Cycle burstStart = issue + timing_.tRCD + timing_.tCAS;
+    busFreeAt_[id.channel] = burstStart + timing_.tBURST;
+    return ready;
+}
+
+Cycle
+DramSystem::victimRefresh(const BankId &id, std::uint64_t rows, Cycle now)
+{
+    applyAutoRefresh(id, now);
+    return banks_[id.flat(geometry_)].victimRefresh(now, rows);
+}
+
+const Bank &
+DramSystem::bank(const BankId &id) const
+{
+    return banks_[id.flat(geometry_)];
+}
+
+Bank &
+DramSystem::bank(const BankId &id)
+{
+    return banks_[id.flat(geometry_)];
+}
+
+Count
+DramSystem::totalActivations() const
+{
+    Count c = 0;
+    for (const auto &b : banks_)
+        c += b.activations();
+    return c;
+}
+
+Count
+DramSystem::totalVictimRowsRefreshed() const
+{
+    Count c = 0;
+    for (const auto &b : banks_)
+        c += b.victimRowsRefreshed();
+    return c;
+}
+
+} // namespace catsim

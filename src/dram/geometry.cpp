@@ -1,0 +1,39 @@
+#include "geometry.hpp"
+
+namespace catsim
+{
+
+DramGeometry
+DramGeometry::dualCore2Ch()
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 65536;
+    return g;
+}
+
+DramGeometry
+DramGeometry::quadCore2Ch()
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 131072;
+    return g;
+}
+
+DramGeometry
+DramGeometry::quadCore4Ch()
+{
+    DramGeometry g;
+    g.channels = 4;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 131072;
+    return g;
+}
+
+} // namespace catsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAM organization parameters (channels / ranks / banks / rows / cols).
+ *
+ * Defaults follow the paper's Table I: 16 GB total, 2 channels with one
+ * 8 GB DIMM each, 1 rank per channel, 8 banks per rank, 64K rows per
+ * bank, 64 B cache lines.  Section VIII-B additionally evaluates a
+ * 4-channel mapping (64 banks) and quad-core banks with 128K rows.
+ */
+
+#ifndef CATSIM_DRAM_GEOMETRY_HPP
+#define CATSIM_DRAM_GEOMETRY_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace catsim
+{
+
+/** Static description of the DRAM organization. */
+struct DramGeometry
+{
+    std::uint32_t channels = 2;
+    std::uint32_t ranksPerChannel = 1;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t rowsPerBank = 65536;
+    std::uint32_t colsPerRow = 256;     //!< 64 B lines: 16 KB row / 64 B
+    std::uint32_t lineBytes = 64;
+
+    /** Total banks across the system. */
+    std::uint32_t
+    totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    /** Bytes of storage in one bank. */
+    std::uint64_t
+    bankBytes() const
+    {
+        return static_cast<std::uint64_t>(rowsPerBank) * colsPerRow
+               * lineBytes;
+    }
+
+    /** Bytes of storage in the whole system. */
+    std::uint64_t
+    totalBytes() const
+    {
+        return bankBytes() * totalBanks();
+    }
+
+    /** Paper Table I configuration (dual-core, 2 channels, 16 GB). */
+    static DramGeometry dualCore2Ch();
+
+    /** Quad-core, 2 channels: banks grow to 128K rows (Fig 11 caption). */
+    static DramGeometry quadCore2Ch();
+
+    /** Quad-core, 4 channels: 64 banks, 128K rows per bank (Fig 11). */
+    static DramGeometry quadCore4Ch();
+};
+
+/** Flattened bank coordinate. */
+struct BankId
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+
+    bool
+    operator==(const BankId &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank;
+    }
+
+    /** Linear index in [0, geometry.totalBanks()). */
+    std::uint32_t
+    flat(const DramGeometry &g) const
+    {
+        return (channel * g.ranksPerChannel + rank) * g.banksPerRank
+               + bank;
+    }
+};
+
+} // namespace catsim
+
+#endif // CATSIM_DRAM_GEOMETRY_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-rank DRAM constraints: the four-activate window (tFAW), ACT-to-ACT
+ * spacing (tRRD) and distributed auto-refresh (tREFI/tRFC).
+ */
+
+#ifndef CATSIM_DRAM_RANK_HPP
+#define CATSIM_DRAM_RANK_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace catsim
+{
+
+/** Rank-level timing state. */
+class Rank
+{
+  public:
+    explicit Rank(const DramTiming &timing)
+        : timing_(&timing), nextAutoRefresh_(timing.tREFI)
+    {
+        actWindow_.fill(0);
+    }
+
+    /** Earliest ACT issue respecting tRRD and tFAW. */
+    Cycle
+    earliestActivate(Cycle now) const
+    {
+        Cycle t = now;
+        if (lastAct_ + timing_->tRRD > t && lastActValid_)
+            t = lastAct_ + timing_->tRRD;
+        // Oldest of the last four ACTs bounds the tFAW window.
+        const Cycle oldest = actWindow_[head_];
+        if (actCount_ >= 4 && oldest + timing_->tFAW > t)
+            t = oldest + timing_->tFAW;
+        return t;
+    }
+
+    /** Record an ACT at @p cycle. */
+    void
+    recordActivate(Cycle cycle)
+    {
+        lastAct_ = cycle;
+        lastActValid_ = true;
+        actWindow_[head_] = cycle;
+        head_ = (head_ + 1) % actWindow_.size();
+        ++actCount_;
+    }
+
+    /**
+     * Return the end of an auto-refresh window if one is due at or
+     * before @p now, advancing the internal tREFI schedule; returns 0
+     * when no refresh is due.  The caller blocks all banks in the rank
+     * until the returned cycle.
+     */
+    Cycle
+    autoRefreshDue(Cycle now)
+    {
+        if (now < nextAutoRefresh_)
+            return 0;
+        const Cycle start = nextAutoRefresh_;
+        nextAutoRefresh_ += timing_->tREFI;
+        ++autoRefreshes_;
+        return start + timing_->tRFC;
+    }
+
+    Count autoRefreshes() const { return autoRefreshes_; }
+
+  private:
+    const DramTiming *timing_;
+    std::array<Cycle, 4> actWindow_;
+    std::size_t head_ = 0;
+    std::uint64_t actCount_ = 0;
+    Cycle lastAct_ = 0;
+    bool lastActValid_ = false;
+    Cycle nextAutoRefresh_;
+    Count autoRefreshes_ = 0;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_DRAM_RANK_HPP

@@ -1,0 +1,12 @@
+#include "timing.hpp"
+
+namespace catsim
+{
+
+DramTiming
+DramTiming::ddr3_1600()
+{
+    return DramTiming{};
+}
+
+} // namespace catsim

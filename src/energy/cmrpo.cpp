@@ -1,0 +1,65 @@
+#include "cmrpo.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+PowerBreakdown
+schemePower(const SchemeConfig &config, const SchemeStats &stats,
+            double exec_seconds)
+{
+    if (exec_seconds <= 0.0)
+        CATSIM_FATAL("schemePower needs a positive execution time");
+
+    const HwCost hw = HwModel::cost(config.kind, config.numCounters,
+                                    config.maxLevels, config.threshold);
+
+    PowerBreakdown p;
+    // nJ / s = nW; divide by 1e6 for mW.
+    const double toMw = 1e-6;
+
+    double dynNj = hw.dynPerAccess * static_cast<double>(stats.activations);
+    if (config.kind == SchemeKind::Pra) {
+        dynNj += EnergyConstants::kPrngPerBitNj
+                 * static_cast<double>(stats.prngBits);
+    }
+    if (config.kind == SchemeKind::CounterCache) {
+        dynNj += EnergyConstants::kCounterDramAccessNj
+                 * static_cast<double>(stats.counterDramReads
+                                       + stats.counterDramWrites);
+    }
+    p.dynamic = dynNj / exec_seconds * toMw;
+
+    p.statik = hw.staticPerInterval / EnergyConstants::kIntervalSeconds
+               / EnergyConstants::kStaticAmortization * toMw;
+
+    p.refresh = EnergyConstants::kRefreshPerRowNj
+                * static_cast<double>(stats.victimRowsRefreshed)
+                / exec_seconds * toMw;
+    return p;
+}
+
+double
+cmrpo(const PowerBreakdown &power, RowAddr rows_per_bank)
+{
+    return power.total() / HwModel::regularRefreshPowerMw(rows_per_bank);
+}
+
+double
+cmrpoOf(const SchemeConfig &config, const SchemeStats &stats,
+        double exec_seconds, RowAddr rows_per_bank)
+{
+    return cmrpo(schemePower(config, stats, exec_seconds),
+                 rows_per_bank);
+}
+
+double
+eto(double baseline_seconds, double mitigated_seconds)
+{
+    if (baseline_seconds <= 0.0)
+        CATSIM_FATAL("eto needs a positive baseline time");
+    return (mitigated_seconds - baseline_seconds) / baseline_seconds;
+}
+
+} // namespace catsim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Hardware energy/area model for the mitigation schemes.
+ *
+ * The paper synthesized Verilog for DRCAT/PRCAT/SCA control logic with
+ * Synopsys DC/PrimeTime (45 nm FreePDK) and modeled SRAM with CACTI;
+ * Table II lists the resulting per-bank costs for M in {32..512} at
+ * L=11, T=32K.  Those numbers are embedded here as a calibration table;
+ * configurations the paper does not list are obtained by log-log
+ * interpolation/extrapolation in M, a linear scaling of dynamic energy
+ * with the average number of SRAM accesses (which grows with tree
+ * depth), and a linear scaling of static energy with counter width
+ * log2(T) (+2 weight bits for DRCAT).  See DESIGN.md Section 3.
+ */
+
+#ifndef CATSIM_ENERGY_HW_MODEL_HPP
+#define CATSIM_ENERGY_HW_MODEL_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/factory.hpp"
+
+namespace catsim
+{
+
+/** Per-bank hardware cost of a scheme configuration. */
+struct HwCost
+{
+    NanoJoule dynPerAccess = 0.0;      //!< nJ per row activation
+    NanoJoule staticPerInterval = 0.0; //!< nJ per 64 ms refresh interval
+    double areaMm2 = 0.0;
+};
+
+/** Physical constants used across the evaluation. */
+struct EnergyConstants
+{
+    /** Energy to refresh one DRAM row (Ghosh & Lee, MICRO'07). */
+    static constexpr NanoJoule kRefreshPerRowNj = 1.0;
+
+    /** Regular refresh power for a 64K-row bank (paper Section VI). */
+    static constexpr MilliWatt kRegularRefreshPowerMw64k = 2.5;
+
+    /** PRNG energy per generated bit (Srinivasan+, VLSIC'10). */
+    static constexpr NanoJoule kPrngPerBitNj = 2.917e-3;
+
+    /** PRNG area (Table II). */
+    static constexpr double kPrngAreaMm2 = 4.004e-3;
+
+    /** Refresh interval length in seconds. */
+    static constexpr double kIntervalSeconds = 0.064;
+
+    /**
+     * Energy of one counter read or write in reserved DRAM (counter-
+     * cache miss path).  DRAM array access energy dwarfs SRAM; value
+     * follows the activate+rw energy of a narrow burst.
+     */
+    static constexpr NanoJoule kCounterDramAccessNj = 5.0;
+
+    /**
+     * Amortization of Table II static energy in the CMRPO calculation.
+     * Taken verbatim per bank, the published static energies are
+     * inconsistent with the paper's own CMRPO results (e.g. DRCAT64
+     * static alone would be 1.39e4 nJ / 64 ms = 8.7 % of 2.5 mW, yet
+     * Fig 8 reports 4 % TOTAL; DRCAT512's plateau in Fig 10 likewise
+     * implies ~4x).  The paper's figures are reproduced when static
+     * energy is amortized by this factor (the tracking structure is
+     * plausibly shared by several banks in the synthesized design).
+     * Table II itself is reported unscaled (bench_table2_hw).
+     */
+    static constexpr double kStaticAmortization = 4.0;
+};
+
+/** Table II-calibrated cost model. */
+class HwModel
+{
+  public:
+    /**
+     * Per-bank cost of a scheme.
+     *
+     * @param kind  Scheme family.
+     * @param num_counters M for SCA/CAT; cache capacity (counters) for
+     *              the counter-cache baseline.
+     * @param max_levels   L (CAT families only).
+     * @param threshold    Refresh threshold T (counter width).
+     */
+    static HwCost cost(SchemeKind kind, std::uint32_t num_counters,
+                       std::uint32_t max_levels, std::uint32_t threshold);
+
+    /** Regular (baseline) refresh power for a bank of @p rows rows. */
+    static MilliWatt regularRefreshPowerMw(RowAddr rows);
+
+    /**
+     * CACTI-lite: leakage power (mW) of an SRAM array of @p bytes at
+     * 45 nm.  Anchored so that an SCA counter array reproduces the
+     * Table II static energy.
+     */
+    static MilliWatt sramLeakageMw(double bytes);
+
+    /** CACTI-lite: dynamic energy (nJ) of one SRAM access. */
+    static NanoJoule sramAccessNj(double bytes);
+};
+
+} // namespace catsim
+
+#endif // CATSIM_ENERGY_HW_MODEL_HPP

@@ -1,0 +1,55 @@
+#include "montecarlo.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+double
+McResult::unsurvivabilityAfter(double q0, double intervals) const
+{
+    const double exposures = q0 * intervals;
+    if (windowFailureProb <= 0.0)
+        return 0.0;
+    // 1 - (1-pf)^n computed stably.
+    return -std::expm1(exposures * std::log1p(-windowFailureProb));
+}
+
+McResult
+praWindowFailures(PrngSource &prng, std::uint32_t threshold, double p,
+                  std::uint64_t windows)
+{
+    if (p <= 0.0 || p >= 1.0)
+        CATSIM_FATAL("probability must be in (0,1)");
+    const unsigned bits =
+        static_cast<unsigned>(std::ceil(std::log2(1.0 / p)));
+    const auto accept = static_cast<std::uint32_t>(
+        std::llround(p * std::pow(2.0, bits)));
+
+    McResult res;
+    res.windows = windows;
+    // Each trial models one hammered victim: its disturbance counter
+    // restarts whenever a refresh is accepted; the trial fails when T
+    // consecutive draws all miss the accept region.
+    const std::uint32_t acceptBelow = accept ? accept : 1;
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        bool refreshed = false;
+        for (std::uint32_t i = 0; i < threshold; ++i) {
+            if (prng.nextBits(bits) < acceptBelow) {
+                refreshed = true;
+                break;
+            }
+        }
+        if (!refreshed)
+            ++res.failedWindows;
+    }
+    res.windowFailureProb = windows == 0
+        ? 0.0
+        : static_cast<double>(res.failedWindows)
+              / static_cast<double>(res.windows);
+    return res;
+}
+
+} // namespace catsim

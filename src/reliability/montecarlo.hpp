@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Monte-Carlo estimation of PRA failure probability under different
+ * PRNGs (paper Section III-A).
+ *
+ * The analytic Eq. 1 assumes independent Bernoulli draws.  A cheap
+ * LFSR-based PRNG produces a fixed periodic bit sequence, so whole
+ * stretches of activations can systematically miss the accept region;
+ * the paper's Monte-Carlo found that with T=16K, p=0.005 an LFSR-based
+ * PRA reaches 1e-4 unsurvivability "after only 25 refresh intervals".
+ * This module reproduces that experiment: it slides refresh-threshold
+ * windows over the PRNG's decision stream and counts windows with zero
+ * accepted refreshes.
+ */
+
+#ifndef CATSIM_RELIABILITY_MONTECARLO_HPP
+#define CATSIM_RELIABILITY_MONTECARLO_HPP
+
+#include <cstdint>
+
+#include "core/prng_source.hpp"
+
+namespace catsim
+{
+
+/** Result of a window-failure Monte-Carlo run. */
+struct McResult
+{
+    std::uint64_t windows = 0;       //!< threshold windows simulated
+    std::uint64_t failedWindows = 0; //!< windows with zero refreshes
+    double windowFailureProb = 0.0;  //!< failed / total
+
+    /**
+     * Unsurvivability after @p intervals refresh intervals with @p q0
+     * threshold windows each: 1 - (1 - pf)^(q0 * intervals).
+     */
+    double unsurvivabilityAfter(double q0, double intervals) const;
+};
+
+/**
+ * Slide @p windows consecutive windows of @p threshold draws over the
+ * PRNG stream; a window fails when no draw accepts.
+ *
+ * @param prng      Bit source under test.
+ * @param threshold Window length T in activations.
+ * @param p         Refresh probability (sets bits/accept region).
+ * @param windows   Number of windows to simulate.
+ */
+McResult praWindowFailures(PrngSource &prng, std::uint32_t threshold,
+                           double p, std::uint64_t windows);
+
+} // namespace catsim
+
+#endif // CATSIM_RELIABILITY_MONTECARLO_HPP

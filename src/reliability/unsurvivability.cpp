@@ -1,0 +1,44 @@
+#include "unsurvivability.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+double
+refreshPeriodsInYears(double years)
+{
+    return years * 365.25 * 24.0 * 3600.0 / 0.064;
+}
+
+double
+praUnsurvivability(std::uint32_t threshold, double p, double q0,
+                   double years)
+{
+    if (p <= 0.0 || p >= 1.0)
+        CATSIM_FATAL("probability must be in (0,1)");
+    // log-space to survive (1-p)^T underflow for large T.
+    const double logFail = static_cast<double>(threshold)
+                           * std::log1p(-p);
+    const double log10v = logFail / std::log(10.0)
+                          + std::log10(q0)
+                          + std::log10(refreshPeriodsInYears(years));
+    if (log10v >= 0.0)
+        return 1.0;
+    return std::pow(10.0, log10v);
+}
+
+double
+minimumSafeProbability(std::uint32_t threshold, double q0, double years)
+{
+    for (double p = 1e-4; p < 0.5; p += 1e-4) {
+        if (praUnsurvivability(threshold, p, q0, years)
+            < kChipkillUnsurvivability)
+            return p;
+    }
+    return 0.5;
+}
+
+} // namespace catsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PRA reliability analysis (paper Section III-A, Eq. 1).
+ *
+ * A PRA-protected bank fails when an aggressor row is activated T times
+ * within a refresh-threshold window without any of the T Bernoulli(p)
+ * draws triggering a victim refresh.  The probability of at least one
+ * failure over Y years is
+ *     unsurvivability = (1 - p)^T * Q0 * Q1
+ * where Q0 is the number of refresh-threshold windows per 64 ms refresh
+ * interval and Q1 the number of 64 ms periods in Y years.  Chipkill's
+ * 1e-4 serves as the reliability bar.
+ */
+
+#ifndef CATSIM_RELIABILITY_UNSURVIVABILITY_HPP
+#define CATSIM_RELIABILITY_UNSURVIVABILITY_HPP
+
+#include <cstdint>
+
+namespace catsim
+{
+
+/** Chipkill 5-year unsurvivability reference (paper Fig 1). */
+constexpr double kChipkillUnsurvivability = 1e-4;
+
+/** Number of 64 ms periods in @p years years. */
+double refreshPeriodsInYears(double years);
+
+/**
+ * Eq. 1: probability of a crosstalk failure within @p years.
+ *
+ * @param threshold Refresh threshold T.
+ * @param p         Per-activation refresh probability.
+ * @param q0        Refresh-threshold windows per 64 ms interval.
+ * @param years     Exposure, e.g. 5.
+ * @return Failure probability, capped at 1.
+ */
+double praUnsurvivability(std::uint32_t threshold, double p, double q0,
+                          double years);
+
+/**
+ * Smallest p (searched over a fine grid) for which PRA beats the
+ * Chipkill bar at the given T/Q0/years, used to pick the paper's
+ * per-threshold probabilities (0.001@64K ... 0.005@8K).
+ */
+double minimumSafeProbability(std::uint32_t threshold, double q0,
+                              double years);
+
+} // namespace catsim
+
+#endif // CATSIM_RELIABILITY_UNSURVIVABILITY_HPP

@@ -1,0 +1,52 @@
+#include "activation_sim.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+ReplayResult
+replayActivations(const std::vector<std::vector<RowAddr>> &bank_streams,
+                  const SchemeConfig &scheme_config,
+                  RowAddr rows_per_bank)
+{
+    ReplayResult res;
+    res.banks = bank_streams.size();
+
+    std::uint32_t bankIdx = 0;
+    for (const auto &stream : bank_streams) {
+        SchemeConfig cfg = scheme_config;
+        cfg.seed = scheme_config.seed * 1000003ULL + bankIdx;
+        auto scheme = makeScheme(cfg, rows_per_bank);
+        if (!scheme)
+            CATSIM_FATAL("replay needs a real scheme, not None");
+
+        Count epochs = 0;
+        for (const RowAddr row : stream) {
+            if (row == kEpochMarker) {
+                scheme->onEpoch();
+                ++epochs;
+                continue;
+            }
+            scheme->onActivate(row);
+        }
+        if (bankIdx == 0)
+            res.epochs = epochs;
+
+        const SchemeStats &st = scheme->stats();
+        res.stats.activations += st.activations;
+        res.stats.refreshEvents += st.refreshEvents;
+        res.stats.victimRowsRefreshed += st.victimRowsRefreshed;
+        res.stats.sramAccesses += st.sramAccesses;
+        res.stats.prngBits += st.prngBits;
+        res.stats.splits += st.splits;
+        res.stats.merges += st.merges;
+        res.stats.epochResets += st.epochResets;
+        res.stats.counterDramReads += st.counterDramReads;
+        res.stats.counterDramWrites += st.counterDramWrites;
+        ++bankIdx;
+    }
+    return res;
+}
+
+} // namespace catsim

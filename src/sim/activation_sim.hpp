@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Activation-replay simulation.
+ *
+ * Mitigation schemes are a pure function of the per-bank row-activation
+ * stream, so once a timing run has recorded those streams (with epoch
+ * markers), any number of scheme configurations can be evaluated by
+ * cheap replay - no DRAM timing involved.  This is what makes the
+ * paper's large sweeps (Fig 10: counters x levels x thresholds x 18
+ * workloads) tractable.
+ */
+
+#ifndef CATSIM_SIM_ACTIVATION_SIM_HPP
+#define CATSIM_SIM_ACTIVATION_SIM_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/factory.hpp"
+#include "core/mitigation.hpp"
+#include "sim/timing_sim.hpp"
+
+namespace catsim
+{
+
+/** Replay results. */
+struct ReplayResult
+{
+    SchemeStats stats;          //!< summed over banks
+    Count banks = 0;
+    Count epochs = 0;
+
+    /** Per-bank average of a stat (for per-bank CMRPO). */
+    double
+    perBank(Count v) const
+    {
+        return banks ? static_cast<double>(v) / static_cast<double>(banks)
+                     : 0.0;
+    }
+};
+
+/**
+ * Replay recorded bank streams (rows + kEpochMarker sentinels) through
+ * fresh per-bank instances of the given scheme.
+ */
+ReplayResult replayActivations(
+    const std::vector<std::vector<RowAddr>> &bank_streams,
+    const SchemeConfig &scheme_config, RowAddr rows_per_bank);
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_ACTIVATION_SIM_HPP

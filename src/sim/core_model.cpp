@@ -1,0 +1,81 @@
+#include "core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catsim
+{
+
+CoreModel::CoreModel(CoreId id, const CoreParams &params,
+                     std::unique_ptr<TraceStream> stream,
+                     MemoryController &controller)
+    : id_(id),
+      params_(params),
+      stream_(std::move(stream)),
+      controller_(controller)
+{
+}
+
+bool
+CoreModel::step()
+{
+    TraceRecord rec;
+    if (!stream_->next(rec)) {
+        done_ = true;
+        return false;
+    }
+
+    // Retire the compute gap at full width.
+    time_ += static_cast<double>(rec.gap) / retirePerBusCycle();
+    instructions_ += rec.gap + 1;
+    ++memOps_;
+
+    // Retire completed reads.
+    const auto now = static_cast<Cycle>(time_);
+    inflightReads_.erase(
+        std::remove_if(inflightReads_.begin(), inflightReads_.end(),
+                       [now](Cycle c) { return c <= now; }),
+        inflightReads_.end());
+
+    MemRequest req;
+    req.addr = rec.addr;
+    req.isWrite = rec.isWrite;
+    req.core = id_;
+    req.arrival = static_cast<Cycle>(std::ceil(time_));
+
+    if (rec.isWrite) {
+        const Cycle ack = controller_.submitWrite(req);
+        if (static_cast<double>(ack) > time_)
+            time_ = static_cast<double>(ack);
+        return true;
+    }
+
+    // Reads: stall on the oldest outstanding read once the MLP window
+    // is full (ROB head blocks retirement).
+    if (inflightReads_.size() >= params_.mlp) {
+        const auto oldest =
+            *std::min_element(inflightReads_.begin(),
+                              inflightReads_.end());
+        if (static_cast<double>(oldest) > time_)
+            time_ = static_cast<double>(oldest);
+        inflightReads_.erase(std::find(inflightReads_.begin(),
+                                       inflightReads_.end(), oldest));
+        req.arrival = static_cast<Cycle>(std::ceil(time_));
+    }
+
+    const Cycle done = controller_.submitRead(req);
+    inflightReads_.push_back(done);
+    return true;
+}
+
+void
+CoreModel::drain()
+{
+    for (const Cycle c : inflightReads_) {
+        if (static_cast<double>(c) > time_)
+            time_ = static_cast<double>(c);
+    }
+    inflightReads_.clear();
+}
+
+} // namespace catsim

@@ -1,0 +1,228 @@
+#include "experiment.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+std::string
+WorkloadSpec::label() const
+{
+    if (!isAttack)
+        return name;
+    std::ostringstream os;
+    os << "attack-" << attackModeName(attackMode) << "-k" << attackKernel
+       << "+" << name;
+    return os.str();
+}
+
+SystemConfig
+makeSystem(SystemPreset preset)
+{
+    SystemConfig sys;
+    switch (preset) {
+      case SystemPreset::DualCore2Ch:
+        sys.geometry = DramGeometry::dualCore2Ch();
+        sys.numCores = 2;
+        sys.mapping = MappingPolicy::RowRankBankChanCol;
+        break;
+      case SystemPreset::QuadCore2Ch:
+        sys.geometry = DramGeometry::quadCore2Ch();
+        sys.numCores = 4;
+        sys.mapping = MappingPolicy::RowRankBankChanCol;
+        break;
+      case SystemPreset::QuadCore4Ch:
+        sys.geometry = DramGeometry::quadCore4Ch();
+        sys.numCores = 4;
+        sys.mapping = MappingPolicy::RowRankBankColChan;
+        break;
+    }
+    return sys;
+}
+
+ExperimentRunner::ExperimentRunner(double scale) : scale_(scale)
+{
+    if (scale_ <= 0.0 || scale_ > 1.0)
+        CATSIM_FATAL("experiment scale must be in (0, 1], got ", scale_);
+}
+
+std::uint32_t
+ExperimentRunner::scaledThreshold(std::uint32_t threshold) const
+{
+    const auto t = static_cast<std::uint32_t>(
+        std::llround(static_cast<double>(threshold) * scale_));
+    return std::max<std::uint32_t>(t, 512);
+}
+
+SchemeConfig
+ExperimentRunner::scaledScheme(const SchemeConfig &scheme) const
+{
+    SchemeConfig s = scheme;
+    if (s.kind != SchemeKind::Pra)
+        s.threshold = scaledThreshold(scheme.threshold);
+    return s;
+}
+
+std::uint64_t
+ExperimentRunner::recordsFor(const WorkloadSpec &workload,
+                             const SystemConfig &sys) const
+{
+    const WorkloadProfile &p = findWorkload(workload.name);
+    const double epochCycles =
+        static_cast<double>(sys.timing.refreshIntervalCycles()) * scale_;
+    // A record occupies roughly gap/retire-rate bus cycles of compute
+    // plus a couple of cycles of memory pressure per core.
+    double gap = p.meanGap;
+    if (workload.isAttack) {
+        const double tf = attackTargetFraction(workload.attackMode);
+        gap = tf * 8.0 + (1.0 - tf) * gap;
+    }
+    const double retire = static_cast<double>(sys.core.retireWidth)
+                          * static_cast<double>(sys.core.cpuMult);
+    const double cyclesPerRecord = gap / retire + 2.0;
+    const double target = 1.2 * epochCycles / cyclesPerRecord;
+    return static_cast<std::uint64_t>(std::max(target, 50000.0));
+}
+
+std::string
+ExperimentRunner::cacheKey(SystemPreset preset,
+                           const WorkloadSpec &workload) const
+{
+    std::ostringstream os;
+    os << static_cast<int>(preset) << '/' << workload.label() << '/'
+       << workload.seed;
+    return os.str();
+}
+
+StreamFactory
+ExperimentRunner::streamFactory(const WorkloadSpec &workload,
+                                const SystemConfig &sys,
+                                std::uint64_t records,
+                                const AddressMapper &mapper) const
+{
+    WorkloadProfile profile = findWorkload(workload.name);
+    if (profile.phaseEvery > 0) {
+        // Interpret a non-zero phaseEvery as "this workload has
+        // phases" and re-anchor the relocation period to simulated
+        // time: about one hot-set turnover every 1.5 epochs,
+        // independent of the experiment scale.
+        profile.phaseEvery =
+            std::max<std::uint64_t>(records * 5 / 4, 1);
+    }
+    const DramGeometry geometry = sys.geometry;
+    if (workload.isAttack) {
+        const AttackMode mode = workload.attackMode;
+        const std::uint64_t kernel = workload.attackKernel;
+        const std::uint64_t seed = workload.seed;
+        return [profile, geometry, &mapper, mode, kernel, seed,
+                records](CoreId core) -> std::unique_ptr<TraceStream> {
+            return std::make_unique<AttackWorkload>(
+                profile, geometry, mapper, mode, kernel,
+                seed * 7919ULL + core + 1, records);
+        };
+    }
+    const std::uint64_t seed = workload.seed;
+    return [profile, geometry, &mapper, seed,
+            records](CoreId core) -> std::unique_ptr<TraceStream> {
+        return std::make_unique<SyntheticWorkload>(
+            profile, geometry, mapper, seed * 7919ULL + core + 1,
+            records);
+    };
+}
+
+const TimingResult &
+ExperimentRunner::baseline(SystemPreset preset,
+                           const WorkloadSpec &workload)
+{
+    const std::string key = cacheKey(preset, workload);
+    auto it = baselines_.find(key);
+    if (it != baselines_.end())
+        return it->second;
+
+    SystemConfig sys = makeSystem(preset);
+    sys.scheme.kind = SchemeKind::None;
+    sys.recordActivations = true;
+    sys.epochScale = scale_;
+
+    auto mapper = std::make_unique<AddressMapper>(sys.geometry,
+                                                  sys.mapping);
+    const std::uint64_t records = recordsFor(workload, sys);
+    auto factory = streamFactory(workload, sys, records, *mapper);
+    mappers_[key] = std::move(mapper);
+
+    TimingResult result = runTiming(sys, factory);
+    auto [pos, inserted] = baselines_.emplace(key, std::move(result));
+    (void)inserted;
+    return pos->second;
+}
+
+EvalResult
+ExperimentRunner::evalCmrpo(SystemPreset preset,
+                            const WorkloadSpec &workload,
+                            const SchemeConfig &scheme)
+{
+    const TimingResult &base = baseline(preset, workload);
+    const SystemConfig sys = makeSystem(preset);
+    const SchemeConfig sim = scaledScheme(scheme);
+
+    const ReplayResult replay = replayActivations(
+        base.bankStreams, sim, sys.geometry.rowsPerBank);
+
+    // Per-bank averages feed the per-bank power model.
+    const double banks = static_cast<double>(replay.banks);
+    SchemeStats perBank;
+    perBank.activations = static_cast<Count>(
+        static_cast<double>(replay.stats.activations) / banks);
+    perBank.prngBits = static_cast<Count>(
+        static_cast<double>(replay.stats.prngBits) / banks);
+    perBank.counterDramReads = static_cast<Count>(
+        static_cast<double>(replay.stats.counterDramReads) / banks);
+    perBank.counterDramWrites = static_cast<Count>(
+        static_cast<double>(replay.stats.counterDramWrites) / banks);
+    // De-scale threshold-triggered refresh work: each scaled epoch
+    // produces the real per-epoch refresh count but lasts only
+    // s * 64 ms of simulated time.
+    const double refreshScale =
+        (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+    perBank.victimRowsRefreshed = static_cast<Count>(
+        static_cast<double>(replay.stats.victimRowsRefreshed) / banks
+        * refreshScale);
+
+    EvalResult out;
+    out.stats = replay.stats;
+    out.baselineSeconds = base.execSeconds;
+    out.power = schemePower(scheme, perBank, base.execSeconds);
+    out.cmrpo = cmrpo(out.power, sys.geometry.rowsPerBank);
+    return out;
+}
+
+double
+ExperimentRunner::evalEto(SystemPreset preset,
+                          const WorkloadSpec &workload,
+                          const SchemeConfig &scheme)
+{
+    const TimingResult &base = baseline(preset, workload);
+
+    SystemConfig sys = makeSystem(preset);
+    sys.scheme = scaledScheme(scheme);
+    sys.recordActivations = false;
+    sys.epochScale = scale_;
+
+    const std::string key = cacheKey(preset, workload);
+    const AddressMapper &mapper = *mappers_.at(key);
+    const std::uint64_t records = recordsFor(workload, sys);
+    auto factory = streamFactory(workload, sys, records, mapper);
+
+    const TimingResult mitigated = runTiming(sys, factory);
+    const double raw = eto(base.execSeconds, mitigated.execSeconds);
+    // De-scale: the per-epoch blocking time is faithful, but a scaled
+    // epoch is 1/s shorter, inflating the relative overhead.
+    const double corr = (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+    return raw * corr;
+}
+
+} // namespace catsim

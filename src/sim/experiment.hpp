@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Experiment orchestration shared by the bench binaries and examples.
+ *
+ * An ExperimentRunner owns a cache of baseline timing runs (one per
+ * workload/system pair) whose recorded activation streams feed cheap
+ * scheme replays for CMRPO, and runs full timing simulations for ETO.
+ *
+ * Scaled experiments: simulating a full 64 ms refresh interval per
+ * configuration is expensive, so the runner supports a scale factor
+ * s in (0,1] (CATSIM_SCALE).  Scaling shrinks the epoch length AND the
+ * refresh threshold together, which preserves the counting dynamics
+ * (triggers per epoch, tree shapes, ordering between schemes) exactly;
+ * the runner then de-scales the reported refresh power and ETO (both
+ * are per-epoch quantities spread over a 1/s shorter run) so reported
+ * numbers estimate the unscaled system.  PRA is threshold-free and
+ * needs no correction.  DESIGN.md Section 7 discusses fidelity.
+ */
+
+#ifndef CATSIM_SIM_EXPERIMENT_HPP
+#define CATSIM_SIM_EXPERIMENT_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "energy/cmrpo.hpp"
+#include "sim/activation_sim.hpp"
+#include "sim/timing_sim.hpp"
+#include "trace/attack.hpp"
+#include "trace/workloads.hpp"
+
+namespace catsim
+{
+
+/** What the cores execute. */
+struct WorkloadSpec
+{
+    std::string name;              //!< workload profile name
+    bool isAttack = false;
+    AttackMode attackMode = AttackMode::Medium;
+    std::uint64_t attackKernel = 1; //!< 1..12
+    std::uint64_t seed = 42;
+
+    std::string label() const;
+};
+
+/** System shape presets used in the paper. */
+enum class SystemPreset
+{
+    DualCore2Ch,  //!< Table I default
+    QuadCore2Ch,  //!< Section VIII-B
+    QuadCore4Ch,  //!< Section VIII-B
+};
+
+/** Build the SystemConfig skeleton for a preset. */
+SystemConfig makeSystem(SystemPreset preset);
+
+/** Per-workload/scheme evaluation results. */
+struct EvalResult
+{
+    double cmrpo = 0.0;
+    PowerBreakdown power;       //!< per bank
+    SchemeStats stats;          //!< totals over banks
+    double baselineSeconds = 0.0;
+};
+
+/** Orchestrates baseline caching, replays and timing runs. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param scale Experiment scale s in (0,1]; defaults to the
+     *              CATSIM_SCALE environment variable (1.0 when unset).
+     */
+    explicit ExperimentRunner(double scale = experimentScale());
+
+    /**
+     * Baseline (no mitigation) timing run with recorded activation
+     * streams; cached per (preset, workload).
+     */
+    const TimingResult &baseline(SystemPreset preset,
+                                 const WorkloadSpec &workload);
+
+    /**
+     * CMRPO of a scheme on a workload via activation replay of the
+     * cached baseline streams.  @p scheme carries the PAPER threshold;
+     * the runner applies the scale internally.
+     */
+    EvalResult evalCmrpo(SystemPreset preset,
+                         const WorkloadSpec &workload,
+                         const SchemeConfig &scheme);
+
+    /** ETO of a scheme on a workload via a full timing run. */
+    double evalEto(SystemPreset preset, const WorkloadSpec &workload,
+                   const SchemeConfig &scheme);
+
+    /** Records per core targeting ~1.2 scaled epochs for a profile. */
+    std::uint64_t recordsFor(const WorkloadSpec &workload,
+                             const SystemConfig &sys) const;
+
+    double scale() const { return scale_; }
+
+    /** Scale a paper threshold for simulation. */
+    std::uint32_t scaledThreshold(std::uint32_t threshold) const;
+
+  private:
+    StreamFactory streamFactory(const WorkloadSpec &workload,
+                                const SystemConfig &sys,
+                                std::uint64_t records,
+                                const AddressMapper &mapper) const;
+    SchemeConfig scaledScheme(const SchemeConfig &scheme) const;
+    std::string cacheKey(SystemPreset preset,
+                         const WorkloadSpec &workload) const;
+
+    double scale_;
+    std::map<std::string, TimingResult> baselines_;
+    // Mappers must outlive the stream factories that reference them.
+    std::map<std::string, std::unique_ptr<AddressMapper>> mappers_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_EXPERIMENT_HPP

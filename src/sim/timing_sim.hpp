@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Closed-loop timing simulation: cores -> memory controller -> DRAM,
+ * with a mitigation scheme attached to every bank.
+ *
+ * Cores are advanced in global time order, so requests reach the
+ * controller in arrival order (exact for closed-page FR-FCFS, which has
+ * no row hits to reorder for).  The simulator emits epoch callbacks at
+ * every 64 ms auto-refresh boundary and can record the per-bank
+ * activation streams for later cheap replay (ActivationSim).
+ */
+
+#ifndef CATSIM_SIM_TIMING_SIM_HPP
+#define CATSIM_SIM_TIMING_SIM_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "controller/address_mapping.hpp"
+#include "controller/memory_controller.hpp"
+#include "core/factory.hpp"
+#include "dram/dram_system.hpp"
+#include "sim/core_model.hpp"
+#include "trace/trace.hpp"
+
+namespace catsim
+{
+
+/** Sentinel inserted into recorded bank streams at epoch boundaries. */
+constexpr RowAddr kEpochMarker = 0xFFFFFFFFu;
+
+/** Full system configuration for one timing run. */
+struct SystemConfig
+{
+    DramGeometry geometry = DramGeometry::dualCore2Ch();
+    DramTiming timing = DramTiming::ddr3_1600();
+    MappingPolicy mapping = MappingPolicy::RowRankBankChanCol;
+    CoreParams core;
+    std::uint32_t numCores = 2;
+    SchemeConfig scheme;              //!< SchemeKind::None = baseline
+    bool recordActivations = false;
+    /**
+     * Epoch length scale (1.0 = the real 64 ms interval).  Scaling the
+     * epoch together with the refresh threshold (see
+     * ExperimentScaling in experiment.hpp) keeps the counting dynamics
+     * faithful while shortening runs.
+     */
+    double epochScale = 1.0;
+};
+
+/** Per-core trace factory: build core i's stream. */
+using StreamFactory =
+    std::function<std::unique_ptr<TraceStream>(CoreId core)>;
+
+/** Results of one timing run. */
+struct TimingResult
+{
+    Cycle execCycles = 0;
+    double execSeconds = 0.0;
+    Count epochs = 0;
+    ControllerStats controller;
+    SchemeStats scheme;               //!< summed over banks
+    Count totalActivations = 0;
+    Count victimRowsRefreshed = 0;
+    /** Per flat bank: rows activated in order, kEpochMarker at epochs. */
+    std::vector<std::vector<RowAddr>> bankStreams;
+};
+
+/** Run one closed-loop timing simulation. */
+TimingResult runTiming(const SystemConfig &config,
+                       const StreamFactory &make_stream);
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_TIMING_SIM_HPP

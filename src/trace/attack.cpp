@@ -1,0 +1,147 @@
+#include "attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+double
+attackTargetFraction(AttackMode mode)
+{
+    switch (mode) {
+      case AttackMode::Heavy:
+        return 0.75;
+      case AttackMode::Medium:
+        return 0.50;
+      case AttackMode::Light:
+        return 0.25;
+    }
+    return 0.0;
+}
+
+const char *
+attackModeName(AttackMode mode)
+{
+    switch (mode) {
+      case AttackMode::Heavy:
+        return "Heavy";
+      case AttackMode::Medium:
+        return "Medium";
+      case AttackMode::Light:
+        return "Light";
+    }
+    return "?";
+}
+
+AttackWorkload::AttackWorkload(const WorkloadProfile &benign,
+                               const DramGeometry &geometry,
+                               const AddressMapper &mapper,
+                               AttackMode mode,
+                               std::uint64_t kernel_seed,
+                               std::uint64_t stream_seed,
+                               std::uint64_t length,
+                               std::uint32_t targets_per_bank)
+    : geometry_(geometry),
+      mapper_(mapper),
+      mode_(mode),
+      targetFraction_(attackTargetFraction(mode)),
+      streamSeed_(stream_seed),
+      length_(length),
+      rng_(stream_seed),
+      benign_(benign, geometry, mapper, stream_seed ^ 0xBEEFULL, length)
+{
+    targets_.resize(geometry.totalBanks());
+    for (auto &t : targets_)
+        t.resize(targets_per_bank);
+    pickTargets(kernel_seed);
+}
+
+void
+AttackWorkload::pickTargets(std::uint64_t kernel_seed)
+{
+    // Target rows follow a Gaussian around a per-bank center chosen by
+    // the kernel (paper: "the distribution of target rows in the kernel
+    // attacks follows the Gaussian distribution").
+    Xoshiro256StarStar krng(kernel_seed * 0x9E3779B9ULL + 7);
+    const double sigma = geometry_.rowsPerBank / 64.0;
+    for (auto &bankTargets : targets_) {
+        const std::uint64_t center =
+            krng.nextBounded(geometry_.rowsPerBank);
+        for (auto &row : bankTargets) {
+            const double offset = krng.nextGaussian() * sigma;
+            std::int64_t r = static_cast<std::int64_t>(center)
+                             + static_cast<std::int64_t>(offset);
+            const auto n =
+                static_cast<std::int64_t>(geometry_.rowsPerBank);
+            r = ((r % n) + n) % n;
+            row = static_cast<RowAddr>(r);
+        }
+        // Duplicate targets would merely double-hammer one row; keep
+        // them distinct so the kernel stresses `targets_per_bank` rows.
+        std::sort(bankTargets.begin(), bankTargets.end());
+        for (std::size_t i = 1; i < bankTargets.size(); ++i) {
+            if (bankTargets[i] <= bankTargets[i - 1]) {
+                bankTargets[i] = (bankTargets[i - 1] + 2)
+                                 % geometry_.rowsPerBank;
+            }
+        }
+    }
+}
+
+void
+AttackWorkload::rewind()
+{
+    produced_ = 0;
+    rng_ = Xoshiro256StarStar(streamSeed_);
+    benign_.rewind();
+}
+
+bool
+AttackWorkload::next(TraceRecord &out)
+{
+    if (produced_ >= length_)
+        return false;
+
+    if (rng_.nextDouble() < targetFraction_) {
+        // Hammer one target row; attacks read (CLFLUSH+load pattern).
+        MappedAddr loc;
+        loc.channel = static_cast<std::uint32_t>(
+            rng_.nextBounded(geometry_.channels));
+        loc.rank = static_cast<std::uint32_t>(
+            rng_.nextBounded(geometry_.ranksPerChannel));
+        loc.bank = static_cast<std::uint32_t>(
+            rng_.nextBounded(geometry_.banksPerRank));
+        loc.col = static_cast<std::uint32_t>(
+            rng_.nextBounded(geometry_.colsPerRow));
+        const auto &bankTargets =
+            targets_[BankId{loc.channel, loc.rank, loc.bank}.flat(
+                geometry_)];
+        loc.row = bankTargets[rng_.nextBounded(bankTargets.size())];
+        out.gap = 8; // tight hammer loop
+        out.isWrite = false;
+        out.addr = mapper_.compose(loc);
+        ++produced_;
+        // Keep the benign stream position advancing so the mix ratio
+        // controls row composition, not sequence length.
+        return true;
+    }
+
+    if (!benign_.next(out)) {
+        benign_.rewind();
+        if (!benign_.next(out))
+            return false;
+    }
+    ++produced_;
+    return true;
+}
+
+const std::vector<RowAddr> &
+AttackWorkload::targets(std::uint32_t bank_flat) const
+{
+    return targets_.at(bank_flat);
+}
+
+} // namespace catsim

@@ -1,0 +1,55 @@
+#include "trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+std::size_t
+writeTraceFile(const std::string &path, TraceStream &stream)
+{
+    std::ofstream out(path);
+    if (!out)
+        CATSIM_FATAL("cannot open trace file '", path, "' for writing");
+    TraceRecord r;
+    std::size_t n = 0;
+    while (stream.next(r)) {
+        out << r.gap << ' ' << (r.isWrite ? 'W' : 'R') << " 0x"
+            << std::hex << r.addr << std::dec << '\n';
+        ++n;
+    }
+    return n;
+}
+
+VectorTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        CATSIM_FATAL("cannot open trace file '", path, "'");
+    VectorTrace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        TraceRecord r;
+        char op = 0;
+        std::string addr;
+        if (!(is >> r.gap >> op >> addr))
+            CATSIM_FATAL("bad trace line ", lineno, " in '", path, "'");
+        if (op != 'R' && op != 'W')
+            CATSIM_FATAL("bad op '", op, "' at line ", lineno);
+        r.isWrite = (op == 'W');
+        r.addr = std::stoull(addr, nullptr, 0);
+        trace.push(r);
+    }
+    return trace;
+}
+
+} // namespace catsim

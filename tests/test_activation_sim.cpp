@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the activation-replay simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/activation_sim.hpp"
+#include "trace/workloads.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+TimingResult
+recordedBaseline(std::uint64_t records)
+{
+    SystemConfig sys;
+    sys.geometry = DramGeometry::dualCore2Ch();
+    sys.numCores = 2;
+    sys.scheme.kind = SchemeKind::None;
+    sys.recordActivations = true;
+    sys.epochScale = 0.002;
+    static AddressMapper mapper(sys.geometry, sys.mapping);
+    const WorkloadProfile profile = findWorkload("comm1");
+    const DramGeometry geometry = sys.geometry;
+    return runTiming(sys, [profile, geometry, records](CoreId core) {
+        return std::unique_ptr<TraceStream>(
+            std::make_unique<SyntheticWorkload>(profile, geometry,
+                                                mapper, core + 1,
+                                                records));
+    });
+}
+
+} // namespace
+
+TEST(ActivationSim, ReplayMatchesInlineScheme)
+{
+    // Replaying the recorded baseline stream through SCA must produce
+    // exactly the same refresh behaviour as running SCA inline in the
+    // timing simulation (schemes are pure functions of the stream).
+    const auto base = recordedBaseline(120000);
+
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Sca;
+    cfg.numCounters = 64;
+    cfg.threshold = 512;
+    const auto replay = replayActivations(
+        base.bankStreams, cfg, DramGeometry::dualCore2Ch().rowsPerBank);
+
+    SystemConfig sys;
+    sys.geometry = DramGeometry::dualCore2Ch();
+    sys.numCores = 2;
+    sys.scheme = cfg;
+    sys.epochScale = 0.002;
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    const WorkloadProfile profile = findWorkload("comm1");
+    const DramGeometry geometry = sys.geometry;
+    const auto inline_ =
+        runTiming(sys, [&](CoreId core) -> std::unique_ptr<TraceStream> {
+            return std::make_unique<SyntheticWorkload>(
+                profile, geometry, mapper, core + 1, 120000);
+        });
+
+    EXPECT_EQ(replay.stats.activations, inline_.scheme.activations);
+    // Timing feedback from refreshes slightly shifts epoch boundaries,
+    // so allow a small relative slack on refresh totals.
+    const double a =
+        static_cast<double>(replay.stats.victimRowsRefreshed);
+    const double b =
+        static_cast<double>(inline_.scheme.victimRowsRefreshed);
+    EXPECT_NEAR(a, b, 0.05 * std::max(a, b) + 1000.0);
+}
+
+TEST(ActivationSim, EpochMarkersDriveResets)
+{
+    std::vector<std::vector<RowAddr>> streams(1);
+    // 600 activations of row 0, an epoch marker, then 600 more: with
+    // T=1024 no refresh may trigger because the epoch resets counts.
+    for (int i = 0; i < 600; ++i)
+        streams[0].push_back(0);
+    streams[0].push_back(kEpochMarker);
+    for (int i = 0; i < 600; ++i)
+        streams[0].push_back(0);
+
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Sca;
+    cfg.numCounters = 64;
+    cfg.threshold = 1024;
+    const auto res = replayActivations(streams, cfg, 65536);
+    EXPECT_EQ(res.stats.refreshEvents, 0u);
+    EXPECT_EQ(res.epochs, 1u);
+
+    // Without the marker the same 1200 accesses must trigger.
+    std::vector<std::vector<RowAddr>> noMarker(1);
+    for (int i = 0; i < 1200; ++i)
+        noMarker[0].push_back(0);
+    const auto res2 = replayActivations(noMarker, cfg, 65536);
+    EXPECT_EQ(res2.stats.refreshEvents, 1u);
+}
+
+TEST(ActivationSim, PerBankSchemesAreIndependent)
+{
+    std::vector<std::vector<RowAddr>> streams(2);
+    for (int i = 0; i < 1100; ++i)
+        streams[0].push_back(5);
+    for (int i = 0; i < 100; ++i)
+        streams[1].push_back(5);
+
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Sca;
+    cfg.numCounters = 64;
+    cfg.threshold = 1024;
+    const auto res = replayActivations(streams, cfg, 65536);
+    EXPECT_EQ(res.stats.refreshEvents, 1u)
+        << "only the hammered bank may refresh";
+    EXPECT_EQ(res.banks, 2u);
+}
+
+TEST(ActivationSim, DrcatReplayKeepsInvariantStats)
+{
+    const auto base = recordedBaseline(80000);
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 64;
+    cfg.maxLevels = 11;
+    cfg.threshold = 1024;
+    const auto res = replayActivations(base.bankStreams, cfg, 65536);
+    EXPECT_EQ(res.stats.activations, base.totalActivations);
+    EXPECT_GT(res.stats.sramAccesses, 2 * res.stats.activations - 1);
+}
+
+} // namespace catsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the address mapping policies (paper Table I and
+ * Section VIII-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "controller/address_mapping.hpp"
+
+namespace catsim
+{
+
+class MappingRoundTrip : public ::testing::TestWithParam<MappingPolicy>
+{
+};
+
+TEST_P(MappingRoundTrip, MapComposeIdentity)
+{
+    const DramGeometry g = DramGeometry::dualCore2Ch();
+    AddressMapper mapper(g, GetParam());
+    Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr a = rng.nextBounded(g.totalBytes()) & ~63ULL;
+        const MappedAddr m = mapper.map(a);
+        EXPECT_EQ(mapper.compose(m), a);
+        ASSERT_LT(m.channel, g.channels);
+        ASSERT_LT(m.rank, g.ranksPerChannel);
+        ASSERT_LT(m.bank, g.banksPerRank);
+        ASSERT_LT(m.row, g.rowsPerBank);
+        ASSERT_LT(m.col, g.colsPerRow);
+    }
+}
+
+TEST_P(MappingRoundTrip, ComposeMapIdentity)
+{
+    const DramGeometry g = DramGeometry::quadCore4Ch();
+    AddressMapper mapper(g, GetParam());
+    Xoshiro256StarStar rng(2);
+    for (int i = 0; i < 100000; ++i) {
+        MappedAddr m;
+        m.channel = static_cast<std::uint32_t>(
+            rng.nextBounded(g.channels));
+        m.rank = static_cast<std::uint32_t>(
+            rng.nextBounded(g.ranksPerChannel));
+        m.bank = static_cast<std::uint32_t>(
+            rng.nextBounded(g.banksPerRank));
+        m.row =
+            static_cast<RowAddr>(rng.nextBounded(g.rowsPerBank));
+        m.col = static_cast<std::uint32_t>(
+            rng.nextBounded(g.colsPerRow));
+        const MappedAddr back = mapper.map(mapper.compose(m));
+        ASSERT_EQ(back.channel, m.channel);
+        ASSERT_EQ(back.rank, m.rank);
+        ASSERT_EQ(back.bank, m.bank);
+        ASSERT_EQ(back.row, m.row);
+        ASSERT_EQ(back.col, m.col);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MappingRoundTrip,
+    ::testing::Values(MappingPolicy::RowRankBankChanCol,
+                      MappingPolicy::RowRankBankColChan));
+
+TEST(Mapping, PaperPolicyPutsRowInMsbs)
+{
+    const DramGeometry g = DramGeometry::dualCore2Ch();
+    AddressMapper mapper(g, MappingPolicy::RowRankBankChanCol);
+    // Consecutive cache lines stay in the same row.
+    const MappedAddr a = mapper.map(0x100000);
+    const MappedAddr b = mapper.map(0x100040);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(Mapping, InterleavedPolicySpreadsLinesOverChannels)
+{
+    const DramGeometry g = DramGeometry::quadCore4Ch();
+    AddressMapper mapper(g, MappingPolicy::RowRankBankColChan);
+    const MappedAddr a = mapper.map(0x0);
+    const MappedAddr b = mapper.map(0x40);
+    EXPECT_NE(a.channel, b.channel)
+        << "adjacent lines must hit different channels";
+}
+
+TEST(Mapping, GeometryPresets)
+{
+    EXPECT_EQ(DramGeometry::dualCore2Ch().totalBanks(), 16u);
+    EXPECT_EQ(DramGeometry::dualCore2Ch().rowsPerBank, 65536u);
+    EXPECT_EQ(DramGeometry::quadCore2Ch().rowsPerBank, 131072u);
+    EXPECT_EQ(DramGeometry::quadCore4Ch().totalBanks(), 64u);
+    // Table I: 16 GB total for the dual-core system.
+    EXPECT_EQ(DramGeometry::dualCore2Ch().totalBytes(),
+              16ULL << 30);
+}
+
+TEST(Mapping, BankIdFlatBijective)
+{
+    const DramGeometry g = DramGeometry::quadCore4Ch();
+    std::vector<bool> seen(g.totalBanks(), false);
+    for (std::uint32_t ch = 0; ch < g.channels; ++ch) {
+        for (std::uint32_t rk = 0; rk < g.ranksPerChannel; ++rk) {
+            for (std::uint32_t bk = 0; bk < g.banksPerRank; ++bk) {
+                const auto f = BankId{ch, rk, bk}.flat(g);
+                ASSERT_LT(f, g.totalBanks());
+                ASSERT_FALSE(seen[f]);
+                seen[f] = true;
+            }
+        }
+    }
+}
+
+TEST(Mapping, PolicyNames)
+{
+    EXPECT_EQ(AddressMapper::policyName(
+                  MappingPolicy::RowRankBankChanCol),
+              "rw:rk:bk:ch:col:offset");
+    EXPECT_EQ(AddressMapper::policyName(
+                  MappingPolicy::RowRankBankColChan),
+              "rw:rk:bk:col:ch:offset");
+}
+
+} // namespace catsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the physical row-adjacency models and their integration
+ * into the exact-victim schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency.hpp"
+#include "core/counter_cache.hpp"
+#include "core/pra.hpp"
+
+namespace catsim
+{
+
+class AdjacencyKinds
+    : public ::testing::TestWithParam<RowAdjacency::Kind>
+{
+};
+
+TEST_P(AdjacencyKinds, MappingIsBijective)
+{
+    RowAdjacency adj(GetParam(), 4096, 256, 11);
+    std::vector<bool> seen(4096, false);
+    for (RowAddr r = 0; r < 4096; ++r) {
+        const RowAddr p = adj.logicalToPhysical(r);
+        ASSERT_LT(p, 4096u);
+        ASSERT_FALSE(seen[p]);
+        seen[p] = true;
+        ASSERT_EQ(adj.physicalToLogical(p), r);
+    }
+}
+
+TEST_P(AdjacencyKinds, MappingStaysInBlock)
+{
+    const std::uint32_t bs = 256;
+    RowAdjacency adj(GetParam(), 4096, bs, 11);
+    for (RowAddr r = 0; r < 4096; ++r)
+        ASSERT_EQ(adj.logicalToPhysical(r) / bs, r / bs);
+}
+
+TEST_P(AdjacencyKinds, VictimsAreCorrectPhysicalNeighbors)
+{
+    RowAdjacency adj(GetParam(), 4096, 256, 11);
+    std::array<RowAddr, 2> v;
+    for (RowAddr r = 0; r < 4096; r += 7) {
+        const std::uint32_t n = adj.victims(r, v);
+        const RowAddr pos = adj.logicalToPhysical(r);
+        ASSERT_EQ(n, (pos == 0 || pos == 4095) ? 1u : 2u);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const RowAddr vp = adj.logicalToPhysical(v[i]);
+            ASSERT_TRUE(vp + 1 == pos || vp == pos + 1)
+                << "victim not physically adjacent";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AdjacencyKinds,
+    ::testing::Values(RowAdjacency::Kind::Direct,
+                      RowAdjacency::Kind::BlockMirrored,
+                      RowAdjacency::Kind::Scrambled));
+
+TEST(Adjacency, DirectIsIdentity)
+{
+    RowAdjacency adj(RowAdjacency::Kind::Direct, 4096, 256);
+    for (RowAddr r = 0; r < 4096; r += 13)
+        EXPECT_EQ(adj.logicalToPhysical(r), r);
+}
+
+TEST(Adjacency, MirroredSeparatesLogicalNeighbors)
+{
+    // In the anti-parallel layout, logically adjacent rows 0 and 1 are
+    // physically far apart - the classic rowhammer-defense pitfall.
+    RowAdjacency adj(RowAdjacency::Kind::BlockMirrored, 4096, 256);
+    const RowAddr p0 = adj.logicalToPhysical(0);
+    const RowAddr p1 = adj.logicalToPhysical(1);
+    EXPECT_GT(p1 > p0 ? p1 - p0 : p0 - p1, 1u);
+}
+
+TEST(Adjacency, PraUsesModelForVictims)
+{
+    RowAdjacency adj(RowAdjacency::Kind::BlockMirrored, 65536, 256);
+    Pra pra(65536, 0.5, std::make_unique<TruePrng>(3));
+    pra.setAdjacency(&adj);
+    std::array<RowAddr, 2> expected;
+    const std::uint32_t n = adj.victims(1000, expected);
+    ASSERT_EQ(n, 2u);
+    for (int i = 0; i < 200; ++i) {
+        const auto act = pra.onActivate(1000);
+        if (!act.triggered())
+            continue;
+        EXPECT_EQ(act.rowCount, 2u);
+        EXPECT_EQ(act.lo, std::min(expected[0], expected[1]));
+        EXPECT_EQ(act.hi, std::max(expected[0], expected[1]));
+        return;
+    }
+    FAIL() << "p=0.5 never triggered";
+}
+
+TEST(Adjacency, CounterCacheUsesModelForVictims)
+{
+    RowAdjacency adj(RowAdjacency::Kind::Scrambled, 65536, 256, 99);
+    CounterCache cc(65536, 2048, 8, 16);
+    cc.setAdjacency(&adj);
+    RefreshAction act;
+    for (int i = 0; i < 16; ++i)
+        act = cc.onActivate(5000);
+    ASSERT_TRUE(act.triggered());
+    std::array<RowAddr, 2> expected;
+    const std::uint32_t n = adj.victims(5000, expected);
+    ASSERT_EQ(n, act.rowCount);
+    EXPECT_EQ(act.lo, std::min(expected[0], expected[1]));
+    EXPECT_EQ(act.hi, std::max(expected[0], expected[1]));
+}
+
+TEST(Adjacency, NeighborRefreshHelperEdges)
+{
+    const auto lowEdge = neighborRefresh(0, 4096, nullptr);
+    EXPECT_EQ(lowEdge.rowCount, 1u);
+    EXPECT_EQ(lowEdge.lo, 1u);
+    const auto highEdge = neighborRefresh(4095, 4096, nullptr);
+    EXPECT_EQ(highEdge.rowCount, 1u);
+    EXPECT_EQ(highEdge.hi, 4094u);
+}
+
+TEST(AdjacencyDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(RowAdjacency(RowAdjacency::Kind::Direct, 4096, 300),
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+} // namespace catsim

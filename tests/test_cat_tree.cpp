@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the Counter-based Adaptive Tree (paper Section IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/cat_tree.hpp"
+#include "core/split_thresholds.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+CatTree::Params
+makeParams(RowAddr rows, std::uint32_t M, std::uint32_t L,
+           std::uint32_t T, bool weights = false)
+{
+    CatTree::Params p;
+    p.numRows = rows;
+    p.numCounters = M;
+    p.maxLevels = L;
+    p.refreshThreshold = T;
+    p.splitThresholds = computeSplitThresholds(M, L, T);
+    p.enableWeights = weights;
+    return p;
+}
+
+} // namespace
+
+TEST(CatTree, StartsPresplit)
+{
+    // lambda = log2(M) levels: M/2 counters at depth log2(M)-1.
+    CatTree tree(makeParams(65536, 64, 11, 32768));
+    EXPECT_EQ(tree.activeCounters(), 32u);
+    EXPECT_EQ(tree.leafDepth(0), 5u);
+    EXPECT_EQ(tree.leafDepth(65535), 5u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, PresplitPartitionsUniformly)
+{
+    CatTree tree(makeParams(65536, 64, 11, 32768));
+    // Every initial leaf covers N / 2^(log2(M)-1) = 2048 rows.
+    const auto [lo, hi] = tree.leafRange(0);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 2047u);
+    const auto [lo2, hi2] = tree.leafRange(65535);
+    EXPECT_EQ(lo2, 63488u); // 65536 - 2048
+    EXPECT_EQ(hi2, 65535u);
+}
+
+TEST(CatTree, CountsAccumulate)
+{
+    CatTree tree(makeParams(65536, 64, 11, 32768));
+    for (int i = 0; i < 100; ++i)
+        tree.access(10);
+    EXPECT_EQ(tree.counterValue(10), 100u);
+    // Rows in another group are unaffected.
+    EXPECT_EQ(tree.counterValue(30000), 0u);
+}
+
+TEST(CatTree, SplitsAtSplitThreshold)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    const std::uint32_t t5 = params.splitThresholds[5];
+    CatTree tree(params);
+    // Hammer a single row until the first split threshold is reached.
+    for (std::uint32_t i = 0; i < t5; ++i) {
+        const auto r = tree.access(42);
+        ASSERT_FALSE(r.didSplit);
+        ASSERT_FALSE(r.refreshed);
+    }
+    const auto r = tree.access(42);
+    EXPECT_TRUE(r.didSplit);
+    EXPECT_EQ(tree.activeCounters(), 33u);
+    EXPECT_EQ(tree.leafDepth(42), 6u);
+    // The clone inherits the parent count.
+    EXPECT_EQ(tree.counterValue(42), t5);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, HotRowDescendsToMaxLevel)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    Count refreshes = 0;
+    for (std::uint32_t i = 0; i < 40000; ++i) {
+        const auto r = tree.access(42);
+        refreshes += r.refreshed;
+    }
+    EXPECT_EQ(tree.leafDepth(42), 10u); // L-1
+    EXPECT_GT(refreshes, 0u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, RefreshCoversGroupPlusNeighbors)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    CatTree::AccessResult last;
+    for (std::uint32_t i = 0; i < 40000; ++i) {
+        const auto r = tree.access(4096);
+        if (r.refreshed) {
+            last = r;
+            break;
+        }
+    }
+    ASSERT_TRUE(last.refreshed);
+    const auto [lo, hi] = tree.leafRange(4096);
+    EXPECT_EQ(last.lo, lo == 0 ? 0 : lo - 1);
+    EXPECT_EQ(last.hi, hi + 1);
+    EXPECT_EQ(last.rowsRefreshed,
+              static_cast<Count>(last.hi - last.lo + 1));
+}
+
+TEST(CatTree, UniformAccessesKeepTreeBalanced)
+{
+    // Paper Fig 4(b): uniform traffic grows the tree uniformly (like
+    // SCA) rather than deep.
+    auto params = makeParams(65536, 16, 9, 4096);
+    CatTree tree(params);
+    Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 300000; ++i)
+        tree.access(static_cast<RowAddr>(rng.nextBounded(65536)));
+    EXPECT_TRUE(tree.checkInvariants());
+    // All counters active and the depth spread is at most one level
+    // once the tree saturates.
+    EXPECT_EQ(tree.activeCounters(), 16u);
+    std::uint32_t minD = 99, maxD = 0;
+    for (RowAddr r = 0; r < 65536; r += 1024) {
+        const auto d = tree.leafDepth(r);
+        minD = std::min(minD, d);
+        maxD = std::max(maxD, d);
+    }
+    EXPECT_LE(maxD - minD, 1u);
+}
+
+TEST(CatTree, BiasedAccessesGrowUnbalancedTree)
+{
+    // Paper Fig 4(a): biased traffic deepens the hot path only.
+    auto params = makeParams(65536, 16, 9, 4096);
+    CatTree tree(params);
+    Xoshiro256StarStar rng(2);
+    for (int i = 0; i < 300000; ++i) {
+        const bool hot = rng.nextDouble() < 0.9;
+        const RowAddr row = hot
+            ? static_cast<RowAddr>(rng.nextBounded(4))
+            : static_cast<RowAddr>(rng.nextBounded(65536));
+        tree.access(row);
+    }
+    EXPECT_TRUE(tree.checkInvariants());
+    EXPECT_GT(tree.leafDepth(0), tree.leafDepth(60000));
+}
+
+TEST(CatTree, ThresholdBecomesTWhenCountersExhausted)
+{
+    // With all counters consumed, every counter refreshes at T (paper
+    // Algorithm 1 lines 23-25).
+    auto params = makeParams(65536, 4, 6, 4096);
+    CatTree tree(params);
+    Xoshiro256StarStar rng(3);
+    // Saturate the tree.
+    for (int i = 0; i < 100000; ++i)
+        tree.access(static_cast<RowAddr>(rng.nextBounded(65536)));
+    ASSERT_EQ(tree.activeCounters(), 4u);
+    // Now a cold group must count all the way to T before refreshing.
+    Count refreshes = 0;
+    for (std::uint32_t i = 0; i <= 4096; ++i)
+        refreshes += tree.access(0).refreshed;
+    EXPECT_GE(refreshes, 1u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, ResetRestoresPresplit)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    for (std::uint32_t i = 0; i < 30000; ++i)
+        tree.access(42);
+    ASSERT_GT(tree.leafDepth(42), 5u);
+    tree.reset();
+    EXPECT_EQ(tree.activeCounters(), 32u);
+    EXPECT_EQ(tree.leafDepth(42), 5u);
+    EXPECT_EQ(tree.counterValue(42), 0u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, ResetCountsOnlyKeepsShape)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    for (std::uint32_t i = 0; i < 30000; ++i)
+        tree.access(42);
+    const auto depth = tree.leafDepth(42);
+    ASSERT_GT(depth, 5u);
+    tree.resetCountsOnly();
+    EXPECT_EQ(tree.leafDepth(42), depth);
+    EXPECT_EQ(tree.counterValue(42), 0u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+TEST(CatTree, SramAccessBoundsMatchPaper)
+{
+    // Section IV-C: between 2 and L - log2(M/4) accesses per lookup.
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    std::uint32_t minAcc = 999, maxAcc = 0;
+    for (std::uint32_t i = 0; i < 40000; ++i) {
+        const auto r = tree.access(42);
+        minAcc = std::min(minAcc, r.sramAccesses);
+        maxAcc = std::max(maxAcc, r.sramAccesses);
+    }
+    EXPECT_EQ(minAcc, 2u);
+    EXPECT_LE(maxAcc, 11u - 4u); // L - log2(M/4) = 11 - log2(16) = 7
+}
+
+TEST(CatTree, MaxLeafDepthTracksGrowth)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    CatTree tree(params);
+    EXPECT_EQ(tree.maxLeafDepth(), 5u);
+    for (std::uint32_t i = 0; i < 40000; ++i)
+        tree.access(42);
+    EXPECT_EQ(tree.maxLeafDepth(), 10u);
+}
+
+/** Property test: invariants hold under long random workloads. */
+class CatTreeProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, bool>>
+{
+};
+
+TEST_P(CatTreeProperty, InvariantsUnderRandomTraffic)
+{
+    const auto [M, extraLevels, T, weights] = GetParam();
+    std::uint32_t m = 0;
+    for (std::uint32_t v = M; v > 1; v >>= 1)
+        ++m;
+    const std::uint32_t L = m + extraLevels;
+    const RowAddr rows = 65536;
+    if ((1u << (L - 1)) > rows)
+        GTEST_SKIP();
+
+    CatTree tree(makeParams(rows, M, L, T, weights));
+    Xoshiro256StarStar rng(M * 131 + L);
+    for (int i = 0; i < 200000; ++i) {
+        // Mixture: hot rows + background + occasional jumps.
+        RowAddr row;
+        const double u = rng.nextDouble();
+        if (u < 0.5)
+            row = static_cast<RowAddr>(rng.nextBounded(8));
+        else if (u < 0.8)
+            row = static_cast<RowAddr>(40000 + rng.nextBounded(64));
+        else
+            row = static_cast<RowAddr>(rng.nextBounded(rows));
+        tree.access(row);
+        if (i % 50000 == 49999) {
+            std::string why;
+            ASSERT_TRUE(tree.checkInvariants(&why)) << why;
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(tree.checkInvariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CatTreeProperty,
+    ::testing::Combine(::testing::Values(4u, 16u, 64u, 128u),
+                       ::testing::Values(2u, 4u, 6u),
+                       ::testing::Values(2048u, 32768u),
+                       ::testing::Bool()));
+
+TEST(CatTreeDeath, RejectsBadParams)
+{
+    auto params = makeParams(65536, 64, 11, 32768);
+    params.splitThresholds.pop_back();
+    EXPECT_EXIT(CatTree{params}, ::testing::ExitedWithCode(1),
+                "split threshold");
+}
+
+} // namespace catsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the CMRPO power model (paper Sections VI and VII-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/cmrpo.hpp"
+
+namespace catsim
+{
+
+TEST(Cmrpo, StaticOnlyHandComputed)
+{
+    // A scheme that never refreshes: CMRPO is static power over 2.5 mW.
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Sca;
+    cfg.numCounters = 128;
+    cfg.threshold = 32768;
+
+    SchemeStats st; // all zeros
+    const auto p = schemePower(cfg, st, 0.064);
+    EXPECT_DOUBLE_EQ(p.dynamic, 0.0);
+    EXPECT_DOUBLE_EQ(p.refresh, 0.0);
+    // SCA_128 static: 1.44e4 nJ / 64 ms = 0.225 mW, amortized by the
+    // Table II calibration factor (see EnergyConstants).
+    const double expected =
+        0.225 / EnergyConstants::kStaticAmortization;
+    EXPECT_NEAR(p.statik, expected, 1e-6);
+    EXPECT_NEAR(cmrpo(p, 65536), expected / 2.5, 1e-6);
+}
+
+TEST(Cmrpo, RefreshComponent)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Sca;
+    cfg.numCounters = 128;
+    cfg.threshold = 32768;
+
+    SchemeStats st;
+    st.victimRowsRefreshed = 64000; // 64 uJ over 64 ms = 1 mW
+    const auto p = schemePower(cfg, st, 0.064);
+    EXPECT_NEAR(p.refresh, 1.0, 1e-9);
+}
+
+TEST(Cmrpo, PraChargedForPrngBits)
+{
+    // Section VII-B: "for every 50 row accesses, PRA consumes energy
+    // equal to that of refreshing one row" - 9 bits x 2.917e-3 nJ/bit
+    // x 50 ~ 1.3 nJ... the paper rounds; check the per-bit accounting.
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Pra;
+    cfg.praProbability = 0.002;
+
+    SchemeStats st;
+    st.activations = 1000000;
+    st.prngBits = 9000000;
+    const auto p = schemePower(cfg, st, 0.064);
+    const double expectedNj = 9e6 * EnergyConstants::kPrngPerBitNj;
+    EXPECT_NEAR(p.dynamic, expectedNj / 0.064 * 1e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(p.statik, 0.0);
+}
+
+TEST(Cmrpo, PrngEnergyPerFiftyAccessesNearOneRowRefresh)
+{
+    // Table II: eng_PRNG = 2.625e-2 nJ for 9 bits; 50 accesses ->
+    // 1.31 nJ ~ one 1 nJ row refresh (the paper's "for every 50 row
+    // accesses" claim, within rounding).
+    const double perAccess = 9.0 * EnergyConstants::kPrngPerBitNj;
+    EXPECT_NEAR(perAccess, 2.625e-2, 1e-4);
+    EXPECT_NEAR(50.0 * perAccess, 1.3, 0.15);
+}
+
+TEST(Cmrpo, CounterCacheDramTrafficCharged)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::CounterCache;
+    cfg.numCounters = 2048;
+    cfg.threshold = 32768;
+
+    SchemeStats st;
+    st.counterDramReads = 1000;
+    st.counterDramWrites = 500;
+    const auto p = schemePower(cfg, st, 0.064);
+    const double expectedNj =
+        1500.0 * EnergyConstants::kCounterDramAccessNj;
+    EXPECT_NEAR(p.dynamic, expectedNj / 0.064 * 1e-6, 1e-9);
+}
+
+TEST(Cmrpo, QuadCoreBankNormalization)
+{
+    PowerBreakdown p;
+    p.refresh = 1.0;
+    EXPECT_NEAR(cmrpo(p, 65536), 0.4, 1e-9);
+    EXPECT_NEAR(cmrpo(p, 131072), 0.2, 1e-9)
+        << "bigger banks have proportionally larger baseline power";
+}
+
+TEST(Eto, Definition)
+{
+    EXPECT_NEAR(eto(1.0, 1.01), 0.01, 1e-12);
+    EXPECT_DOUBLE_EQ(eto(2.0, 2.0), 0.0);
+}
+
+TEST(CmrpoDeath, RejectsZeroExecTime)
+{
+    SchemeConfig cfg;
+    SchemeStats st;
+    EXPECT_EXIT(schemePower(cfg, st, 0.0), ::testing::ExitedWithCode(1),
+                "positive execution time");
+}
+
+} // namespace catsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the counter-cache baseline (Kim et al., CAL 2015).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/counter_cache.hpp"
+
+namespace catsim
+{
+
+TEST(CounterCache, ExactTwoVictims)
+{
+    CounterCache cc(65536, 2048, 8, 64);
+    RefreshAction act;
+    for (int i = 0; i < 64; ++i)
+        act = cc.onActivate(1000);
+    ASSERT_TRUE(act.triggered());
+    EXPECT_EQ(act.lo, 999u);
+    EXPECT_EQ(act.hi, 1001u);
+    EXPECT_EQ(act.rowCount, 2u);
+}
+
+TEST(CounterCache, ThresholdExactPerRow)
+{
+    CounterCache cc(65536, 2048, 8, 64);
+    // 63 accesses to one row plus 63 to another: no refresh, because
+    // counting is per row (unlike SCA's shared group counters).
+    for (int i = 0; i < 63; ++i) {
+        ASSERT_FALSE(cc.onActivate(10).triggered());
+        ASSERT_FALSE(cc.onActivate(20).triggered());
+    }
+    EXPECT_TRUE(cc.onActivate(10).triggered());
+}
+
+TEST(CounterCache, HitsAndMisses)
+{
+    CounterCache cc(65536, 64, 4, 1000);
+    cc.onActivate(1);
+    cc.onActivate(1);
+    cc.onActivate(1);
+    EXPECT_EQ(cc.misses(), 1u);
+    EXPECT_EQ(cc.hits(), 2u);
+}
+
+TEST(CounterCache, CapacityMissesGenerateDramTraffic)
+{
+    CounterCache cc(65536, 64, 4, 100000);
+    // Touch far more rows than the cache holds.
+    for (RowAddr r = 0; r < 1024; ++r)
+        cc.onActivate(r);
+    // Second sweep: everything was evicted.
+    for (RowAddr r = 0; r < 1024; ++r)
+        cc.onActivate(r);
+    const auto &st = cc.stats();
+    EXPECT_EQ(st.counterDramReads, 2048u);
+    EXPECT_GT(st.counterDramWrites, 0u);
+    EXPECT_EQ(cc.hits(), 0u);
+}
+
+TEST(CounterCache, LruKeepsHotRow)
+{
+    CounterCache cc(65536, 64, 4, 100000);
+    // Row 0 stays hot while conflicting rows stream through its set.
+    // Sets = 16, so rows 0, 16, 32, ... collide.
+    for (int round = 0; round < 10; ++round) {
+        cc.onActivate(0);
+        cc.onActivate(16 * (round % 3 + 1));
+    }
+    // Row 0 should have stayed cached after the first miss.
+    EXPECT_GE(cc.hits(), 9u);
+}
+
+TEST(CounterCache, CounterSurvivesEviction)
+{
+    CounterCache cc(65536, 64, 4, 10);
+    for (int i = 0; i < 9; ++i)
+        cc.onActivate(0);
+    // Evict row 0's counter by streaming the set, then return.
+    for (int k = 1; k <= 8; ++k)
+        cc.onActivate(static_cast<RowAddr>(16 * k));
+    // The 10th access must still trigger: backing storage kept 9.
+    EXPECT_TRUE(cc.onActivate(0).triggered());
+}
+
+TEST(CounterCache, EpochResetsBacking)
+{
+    CounterCache cc(65536, 64, 4, 10);
+    for (int i = 0; i < 9; ++i)
+        cc.onActivate(0);
+    cc.onEpoch();
+    for (int i = 0; i < 9; ++i)
+        ASSERT_FALSE(cc.onActivate(0).triggered());
+    EXPECT_TRUE(cc.onActivate(0).triggered());
+}
+
+TEST(CounterCache, Name)
+{
+    CounterCache cc(65536, 2048, 8, 32768);
+    EXPECT_EQ(cc.name(), "CC_2048");
+}
+
+TEST(CounterCacheDeath, RejectsBadWays)
+{
+    EXPECT_EXIT(CounterCache(65536, 100, 8, 32768),
+                ::testing::ExitedWithCode(1), "multiple of ways");
+}
+
+} // namespace catsim

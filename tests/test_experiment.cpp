@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the experiment runner (CMRPO/ETO orchestration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+/** Tiny scale so each test runs in well under a second. */
+constexpr double kTestScale = 0.02;
+
+SchemeConfig
+scheme(SchemeKind kind, std::uint32_t counters = 64,
+       std::uint32_t levels = 11, std::uint32_t threshold = 32768)
+{
+    SchemeConfig cfg;
+    cfg.kind = kind;
+    cfg.numCounters = counters;
+    cfg.maxLevels = levels;
+    cfg.threshold = threshold;
+    cfg.praProbability = 0.002;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Experiment, BaselineIsCached)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm1";
+    const auto &a = runner.baseline(SystemPreset::DualCore2Ch, w);
+    const auto &b = runner.baseline(SystemPreset::DualCore2Ch, w);
+    EXPECT_EQ(&a, &b) << "same workload must reuse the cached baseline";
+    EXPECT_GT(a.totalActivations, 0u);
+    EXPECT_GT(a.epochs, 0u);
+}
+
+TEST(Experiment, ScaledThreshold)
+{
+    ExperimentRunner runner(0.25);
+    EXPECT_EQ(runner.scaledThreshold(32768), 8192u);
+    EXPECT_EQ(runner.scaledThreshold(1024), 512u) << "clamped at 512";
+}
+
+TEST(Experiment, CmrpoComponentsPositive)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm1";
+    const auto r = runner.evalCmrpo(SystemPreset::DualCore2Ch, w,
+                                    scheme(SchemeKind::Drcat));
+    EXPECT_GT(r.cmrpo, 0.0);
+    EXPECT_LT(r.cmrpo, 1.0) << "DRCAT CMRPO must be far below 100 %";
+    EXPECT_GT(r.power.statik, 0.0);
+    EXPECT_GT(r.power.dynamic, 0.0);
+}
+
+TEST(Experiment, ScaStaticPowerGrowsWithCounters)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "swapt";
+    const auto small = runner.evalCmrpo(SystemPreset::DualCore2Ch, w,
+                                        scheme(SchemeKind::Sca, 64));
+    const auto large = runner.evalCmrpo(SystemPreset::DualCore2Ch, w,
+                                        scheme(SchemeKind::Sca, 4096));
+    EXPECT_GT(large.power.statik, small.power.statik);
+}
+
+TEST(Experiment, PraPowerDominatedByPrng)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm1";
+    const auto r = runner.evalCmrpo(SystemPreset::DualCore2Ch, w,
+                                    scheme(SchemeKind::Pra));
+    // Section VII-B: PRNG generation dominates PRA's CMRPO.
+    EXPECT_GT(r.power.dynamic, r.power.refresh);
+}
+
+TEST(Experiment, AttackWorkloadRuns)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm2";
+    w.isAttack = true;
+    w.attackMode = AttackMode::Heavy;
+    w.attackKernel = 3;
+    const auto &base = runner.baseline(SystemPreset::DualCore2Ch, w);
+    EXPECT_GT(base.totalActivations, 0u);
+    EXPECT_EQ(w.label(), "attack-Heavy-k3+comm2");
+}
+
+TEST(Experiment, EtoNonNegativeAndSmall)
+{
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm1";
+    const double e = runner.evalEto(SystemPreset::DualCore2Ch, w,
+                                    scheme(SchemeKind::Drcat));
+    EXPECT_GE(e, -0.01);
+    EXPECT_LT(e, 0.2);
+}
+
+TEST(Experiment, PresetsDiffer)
+{
+    const auto dual = makeSystem(SystemPreset::DualCore2Ch);
+    const auto quad2 = makeSystem(SystemPreset::QuadCore2Ch);
+    const auto quad4 = makeSystem(SystemPreset::QuadCore4Ch);
+    EXPECT_EQ(dual.numCores, 2u);
+    EXPECT_EQ(quad2.numCores, 4u);
+    EXPECT_EQ(quad2.geometry.rowsPerBank, 131072u);
+    EXPECT_EQ(quad4.geometry.totalBanks(), 64u);
+    EXPECT_EQ(quad4.mapping, MappingPolicy::RowRankBankColChan);
+}
+
+TEST(ExperimentDeath, RejectsBadScale)
+{
+    EXPECT_EXIT(ExperimentRunner(0.0), ::testing::ExitedWithCode(1),
+                "scale");
+    EXPECT_EXIT(ExperimentRunner(1.5), ::testing::ExitedWithCode(1),
+                "scale");
+}
+
+} // namespace catsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Table II-calibrated hardware cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/hw_model.hpp"
+
+namespace catsim
+{
+
+TEST(HwModel, TableIICalibrationPoints)
+{
+    // Spot-check the published Table II entries (L=11, T=32K).
+    const HwCost d64 =
+        HwModel::cost(SchemeKind::Drcat, 64, 11, 32768);
+    EXPECT_NEAR(d64.dynPerAccess, 4.30e-4, 1e-6);
+    EXPECT_NEAR(d64.staticPerInterval, 1.39e4, 1e2);
+    EXPECT_NEAR(d64.areaMm2, 6.12e-2, 1e-4);
+
+    const HwCost p128 =
+        HwModel::cost(SchemeKind::Prcat, 128, 11, 32768);
+    EXPECT_NEAR(p128.dynPerAccess, 5.50e-4, 1e-6);
+    EXPECT_NEAR(p128.staticPerInterval, 2.63e4, 1e2);
+
+    const HwCost s512 = HwModel::cost(SchemeKind::Sca, 512, 11, 32768);
+    EXPECT_NEAR(s512.dynPerAccess, 4.25e-4, 1e-6);
+    EXPECT_NEAR(s512.areaMm2, 1.72e-1, 1e-3);
+}
+
+TEST(HwModel, DrcatCostsMoreThanPrcat)
+{
+    // Section VII-A: DRCAT adds ~4.2 % area and ~5 % dynamic energy.
+    for (std::uint32_t m : {32u, 64u, 128u, 256u, 512u}) {
+        const auto d = HwModel::cost(SchemeKind::Drcat, m, 11, 32768);
+        const auto p = HwModel::cost(SchemeKind::Prcat, m, 11, 32768);
+        EXPECT_GT(d.dynPerAccess, p.dynPerAccess);
+        EXPECT_GT(d.areaMm2, p.areaMm2);
+        EXPECT_LT(d.areaMm2 / p.areaMm2, 1.10);
+    }
+}
+
+TEST(HwModel, ScaDynamicRoughlyHalfOfPrcat)
+{
+    // Section VII-A: "the dynamic energy per access of PRCAT is roughly
+    // twice that of SCA for the same number of counters".
+    const auto p = HwModel::cost(SchemeKind::Prcat, 64, 11, 32768);
+    const auto s = HwModel::cost(SchemeKind::Sca, 64, 11, 32768);
+    EXPECT_NEAR(p.dynPerAccess / s.dynPerAccess, 2.0, 0.35);
+}
+
+TEST(HwModel, IsoAreaPrcat64Sca128)
+{
+    // Section VII-A: "PRCAT64 and SCA128 occupy iso-area".
+    const auto p = HwModel::cost(SchemeKind::Prcat, 64, 11, 32768);
+    const auto s = HwModel::cost(SchemeKind::Sca, 128, 11, 32768);
+    EXPECT_NEAR(p.areaMm2 / s.areaMm2, 1.0, 0.05);
+}
+
+TEST(HwModel, MonotoneInCounters)
+{
+    double prevStat = 0, prevArea = 0;
+    for (std::uint32_t m = 16; m <= 65536; m *= 2) {
+        const auto c = HwModel::cost(SchemeKind::Sca, m, 11, 32768);
+        EXPECT_GT(c.staticPerInterval, prevStat);
+        EXPECT_GT(c.areaMm2, prevArea);
+        prevStat = c.staticPerInterval;
+        prevArea = c.areaMm2;
+    }
+}
+
+TEST(HwModel, DeeperTreesCostMoreDynamicEnergy)
+{
+    const auto l8 = HwModel::cost(SchemeKind::Drcat, 64, 8, 32768);
+    const auto l11 = HwModel::cost(SchemeKind::Drcat, 64, 11, 32768);
+    const auto l14 = HwModel::cost(SchemeKind::Drcat, 64, 14, 32768);
+    EXPECT_LT(l8.dynPerAccess, l11.dynPerAccess);
+    EXPECT_LT(l11.dynPerAccess, l14.dynPerAccess);
+}
+
+TEST(HwModel, NarrowerCountersLeakLess)
+{
+    const auto t32 = HwModel::cost(SchemeKind::Sca, 128, 11, 32768);
+    const auto t16 = HwModel::cost(SchemeKind::Sca, 128, 11, 16384);
+    EXPECT_LT(t16.staticPerInterval, t32.staticPerInterval);
+    EXPECT_NEAR(t16.staticPerInterval / t32.staticPerInterval,
+                14.0 / 15.0, 1e-6);
+}
+
+TEST(HwModel, RegularRefreshPower)
+{
+    EXPECT_DOUBLE_EQ(HwModel::regularRefreshPowerMw(65536), 2.5);
+    EXPECT_DOUBLE_EQ(HwModel::regularRefreshPowerMw(131072), 5.0);
+}
+
+TEST(HwModel, PraHasNoPerBankCounters)
+{
+    const auto c = HwModel::cost(SchemeKind::Pra, 0, 0, 32768);
+    EXPECT_DOUBLE_EQ(c.dynPerAccess, 0.0);
+    EXPECT_DOUBLE_EQ(c.staticPerInterval, 0.0);
+    EXPECT_GT(c.areaMm2, 0.0);
+}
+
+TEST(HwModel, CacheCountsDoubleForTagOverhead)
+{
+    // A 2K-counter cache costs like a 4K-counter SCA array (Fig 2).
+    const auto cc = HwModel::cost(SchemeKind::CounterCache, 2048, 0,
+                                  32768);
+    const auto sca = HwModel::cost(SchemeKind::Sca, 4096, 0, 32768);
+    EXPECT_NEAR(cc.staticPerInterval, sca.staticPerInterval,
+                sca.staticPerInterval * 1e-9);
+}
+
+TEST(HwModel, CactiLiteAnchors)
+{
+    EXPECT_NEAR(HwModel::sramLeakageMw(256.0), 1.44e4 / 64e3, 1e-9);
+    EXPECT_NEAR(HwModel::sramAccessNj(256.0), 1.11e-4, 1e-9);
+    EXPECT_GT(HwModel::sramLeakageMw(1024.0),
+              HwModel::sramLeakageMw(256.0));
+    EXPECT_GT(HwModel::sramAccessNj(1024.0),
+              HwModel::sramAccessNj(256.0));
+}
+
+} // namespace catsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the Fibonacci LFSR used to model cheap PRA PRNGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/lfsr.hpp"
+
+namespace catsim
+{
+
+TEST(Lfsr, StateNeverZero)
+{
+    Lfsr l(8, 0xAB);
+    for (int i = 0; i < 1000; ++i) {
+        l.shiftBit();
+        ASSERT_NE(l.state(), 0u);
+    }
+}
+
+TEST(Lfsr, ZeroSeedCoerced)
+{
+    Lfsr l(8, 0);
+    EXPECT_NE(l.state(), 0u);
+}
+
+/** Maximal-length taps must cycle through all 2^w - 1 nonzero states. */
+class LfsrPeriodTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrPeriodTest, MaximalPeriod)
+{
+    const unsigned width = GetParam();
+    Lfsr l(width, 1);
+    const std::uint64_t start = l.state();
+    std::uint64_t period = 0;
+    do {
+        l.shiftBit();
+        ++period;
+        ASSERT_LE(period, l.period());
+    } while (l.state() != start);
+    EXPECT_EQ(period, l.period());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriodTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u, 13u, 14u,
+                                           15u, 16u));
+
+TEST(Lfsr, NextBitsWidth)
+{
+    Lfsr l(16, 0x1234);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(l.nextBits(9), 512u);
+}
+
+TEST(Lfsr, DoubleInUnitInterval)
+{
+    Lfsr l(16, 0xBEEF);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = l.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Lfsr, SequenceIsPeriodicHenceCorrelated)
+{
+    // The whole point of modeling the LFSR: outputs repeat with the
+    // register period, unlike a true RNG.
+    Lfsr a(8, 0x5A);
+    std::vector<unsigned> first;
+    for (std::uint64_t i = 0; i < a.period(); ++i)
+        first.push_back(a.shiftBit());
+    for (std::uint64_t i = 0; i < a.period(); ++i)
+        ASSERT_EQ(a.shiftBit(), first[i]);
+}
+
+TEST(Lfsr, Deterministic)
+{
+    Lfsr a(16, 0xACE1), b(16, 0xACE1);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextBits(9), b.nextBits(9));
+}
+
+} // namespace catsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for Probabilistic Row Activation refresh (paper Section III-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pra.hpp"
+
+namespace catsim
+{
+
+TEST(Pra, BitsPerDrawMatchesPaper)
+{
+    // p = 0.002 and 0.003 need ceil(log2(1/p)) = 9 bits (Section VII-B).
+    Pra pra2(65536, 0.002);
+    EXPECT_EQ(pra2.bitsPerDraw(), 9u);
+    Pra pra3(65536, 0.003);
+    EXPECT_EQ(pra3.bitsPerDraw(), 9u);
+    Pra pra5(65536, 0.005);
+    EXPECT_EQ(pra5.bitsPerDraw(), 8u);
+}
+
+TEST(Pra, EmpiricalRefreshRateNearP)
+{
+    Pra pra(65536, 0.002, std::make_unique<TruePrng>(7));
+    const int n = 1000000;
+    Count events = 0;
+    for (int i = 0; i < n; ++i)
+        events += pra.onActivate(1000).triggered();
+    const double rate = static_cast<double>(events) / n;
+    // The 9-bit quantized acceptance is 1/512 ~ 0.00195.
+    EXPECT_NEAR(rate, 0.002, 0.0004);
+}
+
+TEST(Pra, RefreshesTwoNeighborsNotAggressor)
+{
+    Pra pra(65536, 0.5, std::make_unique<TruePrng>(1));
+    for (int i = 0; i < 100; ++i) {
+        const auto act = pra.onActivate(1000);
+        if (act.triggered()) {
+            EXPECT_EQ(act.lo, 999u);
+            EXPECT_EQ(act.hi, 1001u);
+            EXPECT_EQ(act.rowCount, 2u) << "aggressor not refreshed";
+            return;
+        }
+    }
+    FAIL() << "p=0.5 never triggered in 100 draws";
+}
+
+TEST(Pra, EdgeRowsHaveOneVictim)
+{
+    Pra pra(65536, 0.5, std::make_unique<TruePrng>(2));
+    bool sawLow = false, sawHigh = false;
+    for (int i = 0; i < 200 && !(sawLow && sawHigh); ++i) {
+        const auto a = pra.onActivate(0);
+        if (a.triggered()) {
+            EXPECT_EQ(a.rowCount, 1u);
+            EXPECT_EQ(a.lo, 1u);
+            sawLow = true;
+        }
+        const auto b = pra.onActivate(65535);
+        if (b.triggered()) {
+            EXPECT_EQ(b.rowCount, 1u);
+            EXPECT_EQ(b.hi, 65534u);
+            sawHigh = true;
+        }
+    }
+    EXPECT_TRUE(sawLow);
+    EXPECT_TRUE(sawHigh);
+}
+
+TEST(Pra, PrngBitsAccountedPerActivation)
+{
+    Pra pra(65536, 0.002);
+    for (int i = 0; i < 1000; ++i)
+        pra.onActivate(5);
+    EXPECT_EQ(pra.stats().prngBits, 9000u);
+    EXPECT_EQ(pra.stats().activations, 1000u);
+}
+
+TEST(Pra, LfsrPrngWorks)
+{
+    Pra pra(65536, 0.01, std::make_unique<LfsrPrng>(16, 0xACE1));
+    const int n = 500000;
+    Count events = 0;
+    for (int i = 0; i < n; ++i)
+        events += pra.onActivate(123).triggered();
+    // Rate should be in the right ballpark even with the cheap PRNG.
+    const double rate = static_cast<double>(events) / n;
+    EXPECT_GT(rate, 0.001);
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Pra, DeterministicWithSeed)
+{
+    Pra a(65536, 0.01, std::make_unique<TruePrng>(5));
+    Pra b(65536, 0.01, std::make_unique<TruePrng>(5));
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(a.onActivate(9).triggered(),
+                  b.onActivate(9).triggered());
+}
+
+TEST(PraDeath, RejectsBadProbability)
+{
+    EXPECT_EXIT(Pra(65536, 0.0), ::testing::ExitedWithCode(1),
+                "probability");
+    EXPECT_EXIT(Pra(65536, 1.0), ::testing::ExitedWithCode(1),
+                "probability");
+}
+
+} // namespace catsim

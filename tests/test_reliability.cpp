@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the reliability analysis (paper Section III-A, Fig 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliability/montecarlo.hpp"
+#include "reliability/unsurvivability.hpp"
+
+namespace catsim
+{
+
+TEST(Unsurvivability, MatchesClosedForm)
+{
+    // Small T so the closed form can be computed directly.
+    const double direct = std::pow(1.0 - 0.01, 100.0) * 10.0
+                          * refreshPeriodsInYears(5.0);
+    const double v = praUnsurvivability(100, 0.01, 10.0, 5.0);
+    if (direct >= 1.0)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+    else
+        EXPECT_NEAR(v, direct, direct * 1e-9);
+}
+
+TEST(Unsurvivability, Fig1Anchors)
+{
+    // Fig 1: at T=32K, p > 0.001 beats Chipkill (1e-4); at smaller T
+    // the same p fails.
+    EXPECT_LT(praUnsurvivability(32768, 0.002, 10.0, 5.0),
+              kChipkillUnsurvivability);
+    EXPECT_GT(praUnsurvivability(8192, 0.001, 10.0, 5.0),
+              kChipkillUnsurvivability);
+}
+
+TEST(Unsurvivability, MonotoneInPAndT)
+{
+    double prev = 2.0;
+    for (double p : {0.001, 0.002, 0.003, 0.004, 0.005, 0.006}) {
+        const double v = praUnsurvivability(16384, p, 20.0, 5.0);
+        EXPECT_LE(v, prev);
+        if (prev < 1.0)
+            EXPECT_LT(v, prev) << "strictly below the cap";
+        prev = v;
+    }
+    EXPECT_LT(praUnsurvivability(32768, 0.002, 10.0, 5.0),
+              praUnsurvivability(16384, 0.002, 10.0, 5.0));
+}
+
+TEST(Unsurvivability, ScalesWithQ0AndYears)
+{
+    const double a = praUnsurvivability(32768, 0.001, 10.0, 5.0);
+    const double b = praUnsurvivability(32768, 0.001, 40.0, 5.0);
+    EXPECT_NEAR(b / a, 4.0, 1e-6);
+    const double c = praUnsurvivability(32768, 0.001, 10.0, 10.0);
+    EXPECT_NEAR(c / a, 2.0, 1e-6);
+}
+
+TEST(Unsurvivability, PaperProbabilityChoices)
+{
+    // Section VIII-C: p = 0.001/0.002/0.003/0.005 for T =
+    // 64K/32K/16K/8K keep PRA below the Chipkill bar.
+    EXPECT_LT(praUnsurvivability(65536, 0.001, 40.0, 5.0),
+              kChipkillUnsurvivability);
+    EXPECT_LT(praUnsurvivability(32768, 0.002, 40.0, 5.0),
+              kChipkillUnsurvivability);
+    EXPECT_LT(praUnsurvivability(16384, 0.003, 40.0, 5.0),
+              kChipkillUnsurvivability);
+    EXPECT_LT(praUnsurvivability(8192, 0.005, 40.0, 5.0),
+              kChipkillUnsurvivability);
+}
+
+TEST(Unsurvivability, MinimumSafeProbabilityGrowsAsTShrinks)
+{
+    const double p64 = minimumSafeProbability(65536, 20.0, 5.0);
+    const double p16 = minimumSafeProbability(16384, 20.0, 5.0);
+    const double p8 = minimumSafeProbability(8192, 20.0, 5.0);
+    EXPECT_LT(p64, p16);
+    EXPECT_LT(p16, p8);
+}
+
+TEST(MonteCarlo, TruePrngMatchesAnalytic)
+{
+    // With a short window the analytic failure probability is sizable
+    // and a true PRNG should match it.
+    TruePrng prng(123);
+    const std::uint32_t T = 256;
+    const double p = 1.0 / 128.0; // 7 bits, accept=1
+    const auto mc = praWindowFailures(prng, T, p, 20000);
+    const double analytic = std::pow(1.0 - p, T); // ~0.134
+    EXPECT_NEAR(mc.windowFailureProb, analytic, 0.01);
+}
+
+TEST(MonteCarlo, LfsrWorseThanTruePrng)
+{
+    // The paper's key Monte-Carlo finding: an LFSR-based PRNG degrades
+    // PRA's reliability versus the independent-draw analysis.  The
+    // failure is structural: a maximal LFSR of width w never emits w
+    // consecutive zeros, so with a 9-bit accept region of {0} a 9-bit
+    // LFSR never triggers a refresh at all - every window fails.
+    const std::uint32_t T = 4096;
+    const double p = 1.0 / 512.0; // 9 bits, accept = {0}
+
+    TruePrng good(7);
+    const auto mcGood = praWindowFailures(good, T, p, 2000);
+    // Analytic: (1 - 1/512)^4096 ~ 3.3e-4.
+    EXPECT_LT(mcGood.windowFailureProb, 0.01);
+
+    LfsrPrng cheap(9, 0x1AB);
+    const auto mcCheap = praWindowFailures(cheap, T, p, 2000);
+    EXPECT_DOUBLE_EQ(mcCheap.windowFailureProb, 1.0)
+        << "a 9-bit LFSR can never produce the all-zero 9-bit word";
+}
+
+TEST(MonteCarlo, UnsurvivabilityAfterIntervals)
+{
+    McResult r;
+    r.windows = 100;
+    r.failedWindows = 1;
+    r.windowFailureProb = 0.01;
+    // 10 windows per interval, 25 intervals: 1-(0.99)^250 ~ 0.919.
+    EXPECT_NEAR(r.unsurvivabilityAfter(10.0, 25.0), 0.919, 0.01);
+    McResult zero;
+    EXPECT_DOUBLE_EQ(zero.unsurvivabilityAfter(10.0, 25.0), 0.0);
+}
+
+} // namespace catsim

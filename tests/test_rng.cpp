@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the PRNG family (SplitMix64, xoshiro256**).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace catsim
+{
+
+TEST(SplitMix64, DeterministicSequence)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, DeterministicGivenSeed)
+{
+    Xoshiro256StarStar a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DoubleRange)
+{
+    Xoshiro256StarStar rng(3);
+    for (int i = 0; i < 100000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Xoshiro, DoubleMeanNearHalf)
+{
+    Xoshiro256StarStar rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BoundedStaysInBound)
+{
+    Xoshiro256StarStar rng(5);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 65536ULL}) {
+        for (int i = 0; i < 10000; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Xoshiro, BoundedZeroIsZero)
+{
+    Xoshiro256StarStar rng(5);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Xoshiro, BoundedCoversAllValues)
+{
+    Xoshiro256StarStar rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, BoundedRoughlyUniform)
+{
+    Xoshiro256StarStar rng(13);
+    const int buckets = 10;
+    const int n = 100000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], n / buckets, n / buckets * 0.1);
+}
+
+TEST(Xoshiro, GaussianMoments)
+{
+    Xoshiro256StarStar rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, BernoulliRate)
+{
+    Xoshiro256StarStar rng(19);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBernoulli(0.01);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.01, 0.002);
+}
+
+} // namespace catsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the split-threshold schedule (paper Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/split_thresholds.hpp"
+
+namespace catsim
+{
+
+TEST(SplitThresholds, PaperCalibration64x10)
+{
+    // Section IV-D: M=64, L=10, T=32768 => T5=5155, T6=10309,
+    // T7=12886, T8=16384, T9=T.
+    const auto thr = computeSplitThresholds(64, 10, 32768);
+    ASSERT_EQ(thr.size(), 10u);
+    EXPECT_EQ(thr[5], 5155u);
+    EXPECT_EQ(thr[6], 10309u);
+    EXPECT_EQ(thr[7], 12886u);
+    EXPECT_EQ(thr[8], 16384u);
+    EXPECT_EQ(thr[9], 32768u);
+    EXPECT_TRUE(splitThresholdsCalibrated(64, 10));
+}
+
+TEST(SplitThresholds, CalibrationScalesWithT)
+{
+    const auto thr = computeSplitThresholds(64, 10, 16384);
+    EXPECT_EQ(thr[8], 8192u);
+    EXPECT_NEAR(thr[5], 5155.0 / 2.0, 1.0);
+    EXPECT_EQ(thr[9], 16384u);
+}
+
+TEST(SplitThresholds, FourCounterAnchor)
+{
+    // Section IV-D example: M=4 => T1 = T/4, T2 = T/2.
+    const auto thr = computeSplitThresholds(4, 4, 32768);
+    ASSERT_EQ(thr.size(), 4u);
+    EXPECT_EQ(thr[1], 32768u / 4);
+    EXPECT_EQ(thr[2], 32768u / 2);
+    EXPECT_EQ(thr[3], 32768u);
+}
+
+TEST(SplitThresholds, GenericRuleNear64x10Anchor)
+{
+    // The generic rule (used when the calibrated case does not apply)
+    // should stay within ~1 % of the published schedule; probe it via
+    // the neighboring L=10 configs scaled back.
+    const auto cal = computeSplitThresholds(64, 10, 32768);
+    // Recompute with the generic path by asking for L=11 and comparing
+    // the overlapping shape properties instead of exact values.
+    const auto gen = computeSplitThresholds(64, 11, 32768);
+    ASSERT_EQ(gen.size(), 11u);
+    EXPECT_EQ(gen[9], 16384u);             // T(L-2) = T/2
+    EXPECT_EQ(gen[5], gen[6] / 2);         // first = second / 2
+    EXPECT_EQ(gen[10], 32768u);
+    // Monotone non-decreasing.
+    for (std::size_t d = 5; d + 1 < gen.size(); ++d)
+        EXPECT_LE(gen[d], gen[d + 1]);
+    (void)cal;
+}
+
+TEST(SplitThresholds, LastIsAlwaysT)
+{
+    for (std::uint32_t M : {2u, 4u, 32u, 64u, 128u, 512u}) {
+        std::uint32_t m = 0;
+        for (std::uint32_t v = M; v > 1; v >>= 1)
+            ++m;
+        for (std::uint32_t L : {m + 1, m + 3, m + 5}) {
+            const auto thr = computeSplitThresholds(M, L, 32768);
+            EXPECT_EQ(thr.back(), 32768u) << "M=" << M << " L=" << L;
+        }
+    }
+}
+
+/** Parameterized shape checks over the (M, L, T) grid. */
+class ThresholdShapeTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(ThresholdShapeTest, MonotoneAndBounded)
+{
+    const auto [M, extraLevels, T] = GetParam();
+    std::uint32_t m = 0;
+    for (std::uint32_t v = M; v > 1; v >>= 1)
+        ++m;
+    const std::uint32_t L = m + extraLevels;
+    const auto thr = computeSplitThresholds(M, L, T);
+    ASSERT_EQ(thr.size(), L);
+    for (std::size_t d = m >= 1 ? m - 1 : 0; d + 1 < L; ++d) {
+        EXPECT_LE(thr[d], thr[d + 1]) << "depth " << d;
+        EXPECT_GT(thr[d], 0u);
+        EXPECT_LE(thr[d], T);
+    }
+    EXPECT_EQ(thr[L - 1], T);
+    // Last split threshold is T/2 per the model.
+    EXPECT_NEAR(thr[L - 2], T / 2.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThresholdShapeTest,
+    ::testing::Combine(::testing::Values(4u, 16u, 32u, 64u, 128u, 256u,
+                                         512u),
+                       ::testing::Values(1u, 2u, 4u, 6u, 8u),
+                       ::testing::Values(8192u, 16384u, 32768u,
+                                         65536u)));
+
+TEST(SplitThresholdsDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(computeSplitThresholds(48, 10, 32768),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(SplitThresholdsDeath, RejectsTooFewLevels)
+{
+    EXPECT_EXIT(computeSplitThresholds(64, 6, 32768),
+                ::testing::ExitedWithCode(1), "must exceed");
+}
+
+} // namespace catsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the ASCII table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace catsim
+{
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // header, rule, two rows
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"xxxxxxxx", "1"});
+    t.addRow({"y", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::istringstream is(os.str());
+    std::string l1, l2, l3, l4;
+    std::getline(is, l1);
+    std::getline(is, l2);
+    std::getline(is, l3);
+    std::getline(is, l4);
+    // The second column starts at the same offset in every row.
+    EXPECT_EQ(l3.find('1'), l4.find('2'));
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.0425, 1), "4.2%");
+    EXPECT_EQ(TextTable::num(1234), "1234");
+    const std::string s = TextTable::sci(1.234e5, 2);
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("e+05"), std::string::npos);
+}
+
+TEST(TextTableDeath, RowWidthMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace catsim

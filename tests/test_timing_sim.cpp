@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the closed-loop timing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing_sim.hpp"
+#include "trace/workloads.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+SystemConfig
+smallSystem(SchemeKind kind = SchemeKind::None)
+{
+    SystemConfig sys;
+    sys.geometry = DramGeometry::dualCore2Ch();
+    sys.numCores = 2;
+    sys.scheme.kind = kind;
+    sys.scheme.numCounters = 64;
+    sys.scheme.maxLevels = 11;
+    sys.scheme.threshold = 2048;
+    sys.epochScale = 0.002; // ~102 K cycles per epoch: fast tests
+    return sys;
+}
+
+StreamFactory
+workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
+                std::uint64_t records, const std::string &name = "comm1")
+{
+    const WorkloadProfile profile = findWorkload(name);
+    const DramGeometry geometry = sys.geometry;
+    return [profile, geometry, &mapper,
+            records](CoreId core) -> std::unique_ptr<TraceStream> {
+        return std::make_unique<SyntheticWorkload>(
+            profile, geometry, mapper, core + 1, records);
+    };
+}
+
+} // namespace
+
+TEST(TimingSim, BaselineRunsToCompletion)
+{
+    SystemConfig sys = smallSystem();
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    auto res = runTiming(sys, workloadFactory(sys, mapper, 20000));
+    EXPECT_GT(res.execCycles, 0u);
+    EXPECT_GT(res.execSeconds, 0.0);
+    EXPECT_EQ(res.totalActivations, res.controller.reads
+                                    + res.controller.writes);
+    EXPECT_EQ(res.victimRowsRefreshed, 0u);
+}
+
+TEST(TimingSim, RecordsActivationStreams)
+{
+    SystemConfig sys = smallSystem();
+    sys.recordActivations = true;
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    auto res = runTiming(sys, workloadFactory(sys, mapper, 20000));
+    ASSERT_EQ(res.bankStreams.size(), sys.geometry.totalBanks());
+    Count rows = 0;
+    for (const auto &s : res.bankStreams) {
+        for (const RowAddr r : s)
+            rows += r != kEpochMarker;
+    }
+    EXPECT_EQ(rows, res.totalActivations);
+}
+
+TEST(TimingSim, EpochMarkersAppear)
+{
+    SystemConfig sys = smallSystem();
+    sys.recordActivations = true;
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    auto res = runTiming(sys, workloadFactory(sys, mapper, 100000));
+    EXPECT_GT(res.epochs, 0u);
+    Count markers = 0;
+    for (const RowAddr r : res.bankStreams[0])
+        markers += r == kEpochMarker;
+    EXPECT_EQ(markers, res.epochs);
+}
+
+TEST(TimingSim, MoreCoresMoreTraffic)
+{
+    SystemConfig sys2 = smallSystem();
+    AddressMapper mapper(sys2.geometry, sys2.mapping);
+    auto res2 = runTiming(sys2, workloadFactory(sys2, mapper, 20000));
+
+    SystemConfig sys4 = smallSystem();
+    sys4.numCores = 4;
+    auto res4 = runTiming(sys4, workloadFactory(sys4, mapper, 20000));
+    EXPECT_EQ(res4.totalActivations, 2 * res2.totalActivations);
+    EXPECT_GT(res4.execCycles, res2.execCycles / 2);
+}
+
+TEST(TimingSim, MitigationAddsOverhead)
+{
+    SystemConfig base = smallSystem(SchemeKind::None);
+    base.epochScale = 0.02; // long epochs so counters reach threshold
+    AddressMapper mapper(base.geometry, base.mapping);
+    auto b = runTiming(base, workloadFactory(base, mapper, 150000));
+
+    // An aggressive SCA (tiny threshold, few counters -> huge refresh
+    // ranges) must slow the run down and refresh rows.
+    SystemConfig mit = smallSystem(SchemeKind::Sca);
+    mit.epochScale = 0.02;
+    mit.scheme.numCounters = 32;
+    mit.scheme.threshold = 256;
+    auto m = runTiming(mit, workloadFactory(mit, mapper, 150000));
+
+    EXPECT_GT(m.victimRowsRefreshed, 0u);
+    EXPECT_GT(m.execCycles, b.execCycles);
+}
+
+TEST(TimingSim, DeterministicAcrossRuns)
+{
+    SystemConfig sys = smallSystem(SchemeKind::Drcat);
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    auto a = runTiming(sys, workloadFactory(sys, mapper, 30000));
+    auto b = runTiming(sys, workloadFactory(sys, mapper, 30000));
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.victimRowsRefreshed, b.victimRowsRefreshed);
+    EXPECT_EQ(a.scheme.refreshEvents, b.scheme.refreshEvents);
+}
+
+TEST(TimingSim, SchemeStatsMatchDramCounters)
+{
+    SystemConfig sys = smallSystem(SchemeKind::Sca);
+    sys.scheme.threshold = 512;
+    AddressMapper mapper(sys.geometry, sys.mapping);
+    auto res = runTiming(sys, workloadFactory(sys, mapper, 100000));
+    EXPECT_EQ(res.scheme.victimRowsRefreshed, res.victimRowsRefreshed);
+    EXPECT_EQ(res.scheme.activations, res.totalActivations);
+}
+
+} // namespace catsim

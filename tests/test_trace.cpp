@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for trace records, streams and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace.hpp"
+
+namespace catsim
+{
+
+TEST(VectorTrace, PushAndIterate)
+{
+    VectorTrace t;
+    t.push({10, false, 0x1000});
+    t.push({0, true, 0x2000});
+    TraceRecord r;
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.gap, 10u);
+    EXPECT_FALSE(r.isWrite);
+    ASSERT_TRUE(t.next(r));
+    EXPECT_TRUE(r.isWrite);
+    EXPECT_EQ(r.addr, 0x2000u);
+    EXPECT_FALSE(t.next(r));
+}
+
+TEST(VectorTrace, Rewind)
+{
+    VectorTrace t;
+    t.push({1, false, 0x10});
+    TraceRecord r;
+    ASSERT_TRUE(t.next(r));
+    ASSERT_FALSE(t.next(r));
+    t.rewind();
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.addr, 0x10u);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/catsim_trace.txt";
+    VectorTrace t;
+    t.push({10, false, 0x12340});
+    t.push({0, true, 0xABCDE0});
+    t.push({999, false, 0x40});
+    EXPECT_EQ(writeTraceFile(path, t), 3u);
+
+    VectorTrace back = readTraceFile(path);
+    ASSERT_EQ(back.size(), 3u);
+    const auto &recs = back.records();
+    EXPECT_EQ(recs[0].gap, 10u);
+    EXPECT_EQ(recs[0].addr, 0x12340u);
+    EXPECT_FALSE(recs[0].isWrite);
+    EXPECT_TRUE(recs[1].isWrite);
+    EXPECT_EQ(recs[2].gap, 999u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFile)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/trace.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace catsim
