@@ -2,7 +2,7 @@
  * @file
  * Ablation - how much do the Section IV-D split thresholds matter?
  *
- * DESIGN.md Section 4 calls out the split-threshold schedule as the
+ * docs/DESIGN.md Section 4 calls out the split-threshold schedule as the
  * CAT design choice with the least published detail.  This bench
  * compares three schedules for DRCAT_64/L11 on the full workload
  * suite:

@@ -20,7 +20,7 @@ namespace catsim
 /**
  * Experiment scale for bench binaries: CATSIM_SCALE when set,
  * otherwise 0.2 (about one fifth of a real 64 ms refresh interval with
- * the refresh threshold co-scaled - see DESIGN.md Section 7).  Set
+ * the refresh threshold co-scaled - see docs/DESIGN.md Section 7).  Set
  * CATSIM_SCALE=1.0 for full-interval runs.
  */
 inline double

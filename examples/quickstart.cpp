@@ -4,7 +4,7 @@
  * in ~40 lines.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart
  *
  * A DRCAT instance watches a bank's row-activation stream.  For each

@@ -22,7 +22,7 @@ main()
 {
     using namespace catsim;
 
-    const double scale = 0.1; // fast demo; see DESIGN.md on scaling
+    const double scale = 0.1; // fast demo; see docs/DESIGN.md on scaling
     ExperimentRunner runner(scale);
 
     WorkloadSpec attack;

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Build the Release tree and run every bench binary, emitting one
+# BENCH_<name>.json per bench so results can accumulate across PRs.
+#
+# Usage:
+#   scripts/run_benches.sh [output-dir]
+#
+# Environment:
+#   CATSIM_SCALE   experiment scale passed to the benches (default 0.05
+#                  here to keep a full sweep under a few minutes; the
+#                  benches themselves default to 0.2)
+#   BENCH_FILTER   only run benches whose name matches this grep regex
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+OUT_DIR="${1:-${REPO_ROOT}/bench-results}"
+SCALE="${CATSIM_SCALE:-0.05}"
+FILTER="${BENCH_FILTER:-.}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+mkdir -p "${OUT_DIR}"
+
+# Millisecond wall clock: bash 5 EPOCHREALTIME (microseconds) when
+# available, second-resolution date otherwise (e.g. macOS bash 3.2).
+now_ms() {
+    if [ -n "${EPOCHREALTIME:-}" ]; then
+        local t="${EPOCHREALTIME/./}"
+        echo "$((t / 1000))"
+    else
+        echo "$(($(date +%s) * 1000))"
+    fi
+}
+
+json_escape() {
+    # Minimal escaper for strings we embed in JSON.
+    sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' | tr '\n' ' '
+}
+
+status=0
+for bench in "${BUILD_DIR}"/bench/bench_*; do
+    [ -x "${bench}" ] || continue
+    name="$(basename "${bench}")"
+    echo "${name}" | grep -qE "${FILTER}" || continue
+
+    log="${OUT_DIR}/${name}.log"
+    echo "==> ${name} (scale=${SCALE})"
+    start="$(now_ms)"
+    if CATSIM_SCALE="${SCALE}" "${bench}" > "${log}" 2>&1; then
+        exit_code=0
+    else
+        exit_code=$?
+        status=1
+    fi
+    end="$(now_ms)"
+    elapsed="$((end - start))"
+
+    first_line="$(head -n1 "${log}" | json_escape)"
+    cat > "${OUT_DIR}/BENCH_${name}.json" <<EOF
+{
+  "bench": "${name}",
+  "scale": ${SCALE},
+  "wall_ms": ${elapsed},
+  "exit_code": ${exit_code},
+  "log": "${name}.log",
+  "title": "${first_line}"
+}
+EOF
+    echo "    ${elapsed} ms, exit ${exit_code}"
+done
+
+echo "Results in ${OUT_DIR}/"
+exit "${status}"

@@ -65,7 +65,7 @@ computeSplitThresholds(std::uint32_t num_counters,
         return thr;
     }
 
-    // Generic rule (DESIGN.md Section 4).  Depths m-1 .. L-2 carry real
+    // Generic rule (docs/DESIGN.md Section 4).  Depths m-1 .. L-2 carry real
     // split thresholds; anything shallower reuses thr[m-1].
     const double ratio = std::pow(2.0, 1.0 / 3.0);
     double v = static_cast<double>(threshold) / 2.0;

@@ -18,7 +18,7 @@
  * generic rule for other configurations:
  *   T_{L-2} = T/2;  T_j = T_{j+1} / 2^(1/3) for j in (m-1, L-2);
  *   T_{m-1} = T_m / 2    (m = log2(M))
- * which matches both anchors to within 1 % (see DESIGN.md Section 4).
+ * which matches both anchors to within 1 % (see docs/DESIGN.md Section 4).
  */
 
 #ifndef CATSIM_CORE_SPLIT_THRESHOLDS_HPP

@@ -10,7 +10,7 @@
  * interpolation/extrapolation in M, a linear scaling of dynamic energy
  * with the average number of SRAM accesses (which grows with tree
  * depth), and a linear scaling of static energy with counter width
- * log2(T) (+2 weight bits for DRCAT).  See DESIGN.md Section 3.
+ * log2(T) (+2 weight bits for DRCAT).  See docs/DESIGN.md Section 3.
  */
 
 #ifndef CATSIM_ENERGY_HW_MODEL_HPP

@@ -14,7 +14,7 @@
  * the runner then de-scales the reported refresh power and ETO (both
  * are per-epoch quantities spread over a 1/s shorter run) so reported
  * numbers estimate the unscaled system.  PRA is threshold-free and
- * needs no correction.  DESIGN.md Section 7 discusses fidelity.
+ * needs no correction.  docs/DESIGN.md Section 7 discusses fidelity.
  */
 
 #ifndef CATSIM_SIM_EXPERIMENT_HPP

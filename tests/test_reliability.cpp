@@ -41,8 +41,9 @@ TEST(Unsurvivability, MonotoneInPAndT)
     for (double p : {0.001, 0.002, 0.003, 0.004, 0.005, 0.006}) {
         const double v = praUnsurvivability(16384, p, 20.0, 5.0);
         EXPECT_LE(v, prev);
-        if (prev < 1.0)
+        if (prev < 1.0) {
             EXPECT_LT(v, prev) << "strictly below the cap";
+        }
         prev = v;
     }
     EXPECT_LT(praUnsurvivability(32768, 0.002, 10.0, 5.0),
