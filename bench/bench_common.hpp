@@ -10,9 +10,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace catsim
 {
@@ -34,7 +38,7 @@ benchScale()
 
 /** Print the standard bench banner. */
 inline void
-benchBanner(const std::string &what, double scale)
+benchBanner(const std::string &what, double scale, std::size_t jobs = 0)
 {
     std::cout << "### " << what << '\n'
               << "### catsim reproduction of Seyedzadeh et al., "
@@ -42,7 +46,47 @@ benchBanner(const std::string &what, double scale)
                  "of Counters\", ISCA 2018\n"
               << "### experiment scale s=" << scale
               << " (CATSIM_SCALE to change; s<1 co-scales epoch length "
-                 "and refresh threshold)\n\n";
+                 "and refresh threshold)\n";
+    if (jobs > 0)
+        std::cout << "### sweep jobs=" << jobs
+                  << " (CATSIM_JOBS to change; results are identical "
+                     "at any job count)\n";
+    std::cout << '\n';
+}
+
+/**
+ * Mean CMRPO over the 18-workload suite for each scheme config,
+ * evaluated as one parallel sweep grid.  means[i] belongs to
+ * configs[i]; workloads are accumulated in suite order, so the means
+ * are bit-identical to the serial per-config loops they replace.
+ */
+inline std::vector<double>
+suiteMeanCmrpo(SweepRunner &sweep,
+               const std::vector<SchemeConfig> &configs,
+               SystemPreset preset = SystemPreset::DualCore2Ch)
+{
+    const auto &suite = workloadSuite();
+    std::vector<SweepCell> cells;
+    cells.reserve(configs.size() * suite.size());
+    for (const auto &cfg : configs) {
+        for (const auto &profile : suite) {
+            SweepCell c;
+            c.preset = preset;
+            c.workload.name = profile.name;
+            c.scheme = cfg;
+            cells.push_back(c);
+        }
+    }
+    const auto results = sweep.runCmrpo(cells);
+    std::vector<double> means(configs.size());
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        RunningStat stat;
+        for (std::size_t w = 0; w < suite.size(); ++w)
+            stat.add(results[i++].cmrpo);
+        means[c] = stat.mean();
+    }
+    return means;
 }
 
 /** Scheme shorthand used by several figures. */

@@ -5,14 +5,20 @@
  * same counter count, for T=32K and T=16K.  Values are means over the
  * 18-workload suite (the paper plots the same aggregation).
  *
+ * The whole figure is one sweep grid (configs x 18 workloads)
+ * evaluated in parallel by SweepRunner; per-config means are
+ * reassembled in table order, so the printed numbers match the old
+ * serial loops bit for bit at any CATSIM_JOBS.
+ *
  * Expected shape: with few counters, refresh energy dominates and
  * deeper trees help; with many counters, static power dominates and
  * depth is inconsequential; the minimum sits near DRCAT_64/L11.
  */
 
 #include <iostream>
+#include <iterator>
+#include <utility>
 
-#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "bench_common.hpp"
 
@@ -21,46 +27,43 @@ using namespace catsim;
 namespace
 {
 
-double
-meanCmrpo(ExperimentRunner &runner, const SchemeConfig &cfg)
-{
-    RunningStat stat;
-    for (const auto &profile : workloadSuite()) {
-        WorkloadSpec w;
-        w.name = profile.name;
-        stat.add(
-            runner.evalCmrpo(SystemPreset::DualCore2Ch, w, cfg).cmrpo);
-    }
-    return stat.mean();
-}
-
 void
-figure(ExperimentRunner &runner, std::uint32_t threshold)
+figure(SweepRunner &sweep, std::uint32_t threshold)
 {
     std::cout << "--- T = " << threshold / 1024 << "K ---\n";
+
+    const std::uint32_t counters[] = {32, 64, 128, 256, 512};
+
+    // Collect every scheme config once, remembering where each one
+    // lands in the table (column 1 = SCA, 2.. = L6..L14); cells with
+    // no config keep the "-" placeholder.
+    std::vector<SchemeConfig> configs;
+    std::vector<std::pair<std::size_t, std::size_t>> slots;
+    std::vector<std::vector<std::string>> rows(
+        std::size(counters), std::vector<std::string>(11, "-"));
+    for (std::size_t r = 0; r < std::size(counters); ++r) {
+        const std::uint32_t m = counters[r];
+        rows[r][0] = TextTable::num(m);
+        configs.push_back(mkScheme(SchemeKind::Sca, m, 0, threshold));
+        slots.emplace_back(r, 1);
+        for (std::uint32_t L = 6; L <= 14; ++L) {
+            if (L < AddressMapper::log2u(m) + 1)
+                continue;
+            configs.push_back(
+                mkScheme(SchemeKind::Drcat, m, L, threshold));
+            slots.emplace_back(r, 2 + (L - 6));
+        }
+    }
+
+    const std::vector<double> means = suiteMeanCmrpo(sweep, configs);
+    for (std::size_t i = 0; i < means.size(); ++i)
+        rows[slots[i].first][slots[i].second] =
+            TextTable::pct(means[i], 2);
+
     TextTable table({"M", "SCA", "L6", "L7", "L8", "L9", "L10", "L11",
                      "L12", "L13", "L14"});
-    for (std::uint32_t m : {32u, 64u, 128u, 256u, 512u}) {
-        std::uint32_t logM = 0;
-        for (std::uint32_t v = m; v > 1; v >>= 1)
-            ++logM;
-        std::vector<std::string> row{TextTable::num(m)};
-        row.push_back(TextTable::pct(
-            meanCmrpo(runner, mkScheme(SchemeKind::Sca, m, 0,
-                                       threshold)),
-            2));
-        for (std::uint32_t L = 6; L <= 14; ++L) {
-            if (L < logM + 1) {
-                row.push_back("-");
-                continue;
-            }
-            row.push_back(TextTable::pct(
-                meanCmrpo(runner, mkScheme(SchemeKind::Drcat, m, L,
-                                           threshold)),
-                2));
-        }
+    for (auto &row : rows)
         table.addRow(std::move(row));
-    }
     table.print(std::cout);
     std::cout << '\n';
 }
@@ -71,9 +74,10 @@ int
 main()
 {
     const double scale = benchScale();
-    benchBanner("Fig 10: DRCAT counters x depth sensitivity", scale);
-    ExperimentRunner runner(scale);
-    figure(runner, 32768);
-    figure(runner, 16384);
+    SweepRunner sweep(scale);
+    benchBanner("Fig 10: DRCAT counters x depth sensitivity", scale,
+                sweep.jobs());
+    figure(sweep, 32768);
+    figure(sweep, 16384);
     return 0;
 }

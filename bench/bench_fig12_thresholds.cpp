@@ -4,40 +4,26 @@
  * dual-core/2-channel system, with the paper's per-threshold
  * configurations: PRA_0.001/0.002/0.003/0.005, SCA_128 (SCA_256 at
  * 8K), PRCAT_32/64/64/128 and DRCAT_32/64/64/128.
+ *
+ * All 16 configurations x 18 workloads go through one SweepRunner
+ * grid; the table is assembled from the cell-indexed results, so any
+ * CATSIM_JOBS value prints identical numbers.
  */
 
 #include <iostream>
 
-#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "bench_common.hpp"
 
 using namespace catsim;
 
-namespace
-{
-
-double
-meanCmrpo(ExperimentRunner &runner, const SchemeConfig &cfg)
-{
-    RunningStat stat;
-    for (const auto &profile : workloadSuite()) {
-        WorkloadSpec w;
-        w.name = profile.name;
-        stat.add(
-            runner.evalCmrpo(SystemPreset::DualCore2Ch, w, cfg).cmrpo);
-    }
-    return stat.mean();
-}
-
-} // namespace
-
 int
 main()
 {
     const double scale = benchScale();
-    benchBanner("Fig 12: CMRPO vs refresh threshold", scale);
-    ExperimentRunner runner(scale);
+    SweepRunner sweep(scale);
+    benchBanner("Fig 12: CMRPO vs refresh threshold", scale,
+                sweep.jobs());
 
     struct Row
     {
@@ -51,28 +37,33 @@ main()
         {8192, 256, 128},
     };
 
-    TextTable table({"T", "PRA", "SCA", "PRCAT", "DRCAT"});
+    // Four configs per row, in column order.
+    std::vector<SchemeConfig> configs;
     for (const Row &r : rows) {
         const double p = praProbabilityFor(r.threshold);
-        table.addRow(
-            {std::to_string(r.threshold / 1024) + "K (p="
-                 + TextTable::fixed(p, 3) + ")",
-             TextTable::pct(meanCmrpo(runner,
-                                      mkScheme(SchemeKind::Pra, 0, 0,
-                                               r.threshold, p)),
-                            2),
-             TextTable::pct(meanCmrpo(runner,
-                                      mkScheme(SchemeKind::Sca, r.sca,
-                                               0, r.threshold)),
-                            2),
-             TextTable::pct(
-                 meanCmrpo(runner, mkScheme(SchemeKind::Prcat, r.cat,
-                                            11, r.threshold)),
-                 2),
-             TextTable::pct(
-                 meanCmrpo(runner, mkScheme(SchemeKind::Drcat, r.cat,
-                                            11, r.threshold)),
-                 2)});
+        configs.push_back(
+            mkScheme(SchemeKind::Pra, 0, 0, r.threshold, p));
+        configs.push_back(
+            mkScheme(SchemeKind::Sca, r.sca, 0, r.threshold));
+        configs.push_back(
+            mkScheme(SchemeKind::Prcat, r.cat, 11, r.threshold));
+        configs.push_back(
+            mkScheme(SchemeKind::Drcat, r.cat, 11, r.threshold));
+    }
+
+    const std::vector<double> means = suiteMeanCmrpo(sweep, configs);
+
+    TextTable table({"T", "PRA", "SCA", "PRCAT", "DRCAT"});
+    std::size_t idx = 0;
+    for (const Row &r : rows) {
+        const double p = praProbabilityFor(r.threshold);
+        table.addRow({std::to_string(r.threshold / 1024) + "K (p="
+                          + TextTable::fixed(p, 3) + ")",
+                      TextTable::pct(means[idx], 2),
+                      TextTable::pct(means[idx + 1], 2),
+                      TextTable::pct(means[idx + 2], 2),
+                      TextTable::pct(means[idx + 3], 2)});
+        idx += 4;
     }
     table.print(std::cout);
     std::cout << "\nExpected shape (paper): DRCAT < 5% for T=64K..16K "

@@ -4,14 +4,20 @@
  * paths: per-activation cost of SCA, PRA, PRCAT, DRCAT and the counter
  * cache, CAT tree traversal/growth, and the PRNG/Zipf substrates.
  * These support the paper's latency claims (Section VII-A: PRCAT
- * lookup is far cheaper than a DRAM row activation).
+ * lookup is far cheaper than a DRAM row activation).  Also covers the
+ * sweep engine: thread-pool dispatch overhead and a small end-to-end
+ * SweepRunner grid.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "common/lfsr.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
+#include "sim/sweep.hpp"
 #include "core/cat_tree.hpp"
 #include "core/counter_cache.hpp"
 #include "core/drcat.hpp"
@@ -166,6 +172,65 @@ BM_ZipfSample(benchmark::State &state)
         benchmark::DoNotOptimize(zipf.sample(rng));
 }
 BENCHMARK(BM_ZipfSample);
+
+void
+BM_ThreadPoolSubmitWait(benchmark::State &state)
+{
+    // Per-job dispatch cost of the sweep engine's queue: submit a
+    // batch of trivial jobs and drain it.
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    ThreadPool pool(jobs);
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&sink] { sink.fetch_add(1); });
+        pool.wait();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ThreadPoolSubmitWait)->Arg(1)->Arg(4);
+
+void
+BM_ParallelForOverhead(benchmark::State &state)
+{
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        parallelFor(
+            256, [&sink](std::size_t i) { sink.fetch_add(i); }, jobs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+void
+BM_SweepSmallGrid(benchmark::State &state)
+{
+    // End-to-end SweepRunner: 2 schemes x 2 workloads at a tiny
+    // scale; cells share baselines through the shared-future cache.
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        SweepRunner sweep(0.02, jobs);
+        std::vector<SweepCell> cells;
+        for (const char *name : {"comm1", "swapt"}) {
+            for (SchemeKind kind :
+                 {SchemeKind::Drcat, SchemeKind::Sca}) {
+                SweepCell c;
+                c.workload.name = name;
+                c.scheme.kind = kind;
+                cells.push_back(c);
+            }
+        }
+        benchmark::DoNotOptimize(sweep.runCmrpo(cells));
+    }
+}
+BENCHMARK(BM_SweepSmallGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 } // namespace
 } // namespace catsim

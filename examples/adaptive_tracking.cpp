@@ -8,11 +8,17 @@
  * the hot region and prints, epoch by epoch, how the 2-bit weights
  * merge cold leaves and re-split around the new aggressor - versus
  * PRCAT, which rebuilds from the balanced tree every epoch.
+ *
+ * The two schemes are independent, so each epoch advances them
+ * concurrently via parallelFor (CATSIM_JOBS workers); each scheme owns
+ * its RNG and reporting happens after the join, so the output is
+ * identical at any job count.
  */
 
 #include <iomanip>
 #include <iostream>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/drcat.hpp"
 
@@ -36,6 +42,20 @@ epochTraffic(SchemeT &scheme, RowAddr hot, std::uint64_t seed)
     }
     scheme.onEpoch();
     return rows;
+}
+
+/** Advance both schemes one epoch, DRCAT and PRCAT in parallel. */
+std::pair<Count, Count>
+epochBoth(Drcat &drcat, Prcat &prcat, RowAddr hot, std::uint64_t seed)
+{
+    Count d = 0, p = 0;
+    parallelFor(2, [&](std::size_t i) {
+        if (i == 0)
+            d = epochTraffic(drcat, hot, seed);
+        else
+            p = epochTraffic(prcat, hot, seed);
+    });
+    return {d, p};
 }
 
 void
@@ -66,8 +86,7 @@ main()
 
     std::cout << "Phase 1: hot row " << hotA << " (4 epochs)\n";
     for (int e = 0; e < 4; ++e) {
-        const Count d = epochTraffic(drcat, hotA, 100 + e);
-        const Count p = epochTraffic(prcat, hotA, 100 + e);
+        const auto [d, p] = epochBoth(drcat, prcat, hotA, 100 + e);
         std::cout << " epoch " << e << ":\n";
         report("DRCAT", drcat, hotA, d);
         report("PRCAT", prcat, hotA, p);
@@ -76,8 +95,7 @@ main()
     std::cout << "\nPhase 2: hot row moves to " << hotB
               << " (4 epochs)\n";
     for (int e = 4; e < 8; ++e) {
-        const Count d = epochTraffic(drcat, hotB, 100 + e);
-        const Count p = epochTraffic(prcat, hotB, 100 + e);
+        const auto [d, p] = epochBoth(drcat, prcat, hotB, 100 + e);
         std::cout << " epoch " << e << ":\n";
         report("DRCAT", drcat, hotB, d);
         report("PRCAT", prcat, hotB, p);

@@ -9,6 +9,12 @@
 #   CATSIM_SCALE   experiment scale passed to the benches (default 0.05
 #                  here to keep a full sweep under a few minutes; the
 #                  benches themselves default to 0.2)
+#   CATSIM_JOBS    sweep worker count passed to the benches (default
+#                  nproc); recorded in each BENCH_<name>.json so the
+#                  parallel speedup shows up in the cross-PR trajectory
+#   CATSIM_BASELINE_CACHE  optional dir for baseline stream reuse
+#                  across runs (not set by default: trajectory numbers
+#                  should include the baseline cost unless asked)
 #   BENCH_FILTER   only run benches whose name matches this grep regex
 set -euo pipefail
 
@@ -16,6 +22,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${REPO_ROOT}/build"
 OUT_DIR="${1:-${REPO_ROOT}/bench-results}"
 SCALE="${CATSIM_SCALE:-0.05}"
+JOBS="${CATSIM_JOBS:-$(nproc)}"
 FILTER="${BENCH_FILTER:-.}"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
@@ -46,9 +53,10 @@ for bench in "${BUILD_DIR}"/bench/bench_*; do
     echo "${name}" | grep -qE "${FILTER}" || continue
 
     log="${OUT_DIR}/${name}.log"
-    echo "==> ${name} (scale=${SCALE})"
+    echo "==> ${name} (scale=${SCALE}, jobs=${JOBS})"
     start="$(now_ms)"
-    if CATSIM_SCALE="${SCALE}" "${bench}" > "${log}" 2>&1; then
+    if CATSIM_SCALE="${SCALE}" CATSIM_JOBS="${JOBS}" "${bench}" \
+        > "${log}" 2>&1; then
         exit_code=0
     else
         exit_code=$?
@@ -62,6 +70,7 @@ for bench in "${BUILD_DIR}"/bench/bench_*; do
 {
   "bench": "${name}",
   "scale": ${SCALE},
+  "jobs": ${JOBS},
   "wall_ms": ${elapsed},
   "exit_code": ${exit_code},
   "log": "${name}.log",

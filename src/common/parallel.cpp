@@ -1,0 +1,148 @@
+#include "parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace catsim
+{
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("CATSIM_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t jobs) : jobs_(jobs ? jobs : 1)
+{
+    if (jobs_ == 1)
+        return;
+    workers_.reserve(jobs_);
+    for (std::size_t i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::recordException()
+{
+    // Caller holds mutex_.
+    if (!firstError_)
+        firstError_ = std::current_exception();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (jobs_ == 1) {
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            recordException();
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            recordException();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+            std::size_t jobs)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = std::min(jobs ? jobs : 1, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // Dynamic index handout: cheap and balances uneven cells.  A
+    // failed call poisons the grid so other workers stop picking up
+    // new indices (matching the serial path's stop-at-first-throw)
+    // instead of burning through the remaining cells.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&next, &failed, &fn, n] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                if (failed.load(std::memory_order_relaxed))
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw; // recorded by the pool, rethrown in wait()
+                }
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace catsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal thread pool and parallel-for used by the sweep engine.
+ *
+ * Sweeps over (workload x scheme x config) grids are embarrassingly
+ * parallel, so a plain mutex-protected job queue is enough - no work
+ * stealing, no futures-per-task.  The job count defaults to the
+ * CATSIM_JOBS environment variable (hardware concurrency when unset);
+ * jobs == 1 degenerates to inline execution on the calling thread so
+ * the serial path needs no special casing.
+ *
+ * Determinism contract: callers index results by job id (e.g. grid
+ * cell), never by completion order, so any job count produces
+ * bit-identical output.
+ */
+
+#ifndef CATSIM_COMMON_PARALLEL_HPP
+#define CATSIM_COMMON_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catsim
+{
+
+/**
+ * Job count from the CATSIM_JOBS environment variable; hardware
+ * concurrency (at least 1) when unset or unparsable.
+ */
+std::size_t defaultJobs();
+
+/** Fixed-size worker pool draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** @param jobs Worker count; 0 and 1 both mean "run inline". */
+    explicit ThreadPool(std::size_t jobs = defaultJobs());
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (1 when running inline). */
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Enqueue one job.  With jobs() == 1 the job runs immediately on
+     * the calling thread.  Jobs must not submit further jobs.
+     */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished.  Rethrows the
+     * first exception any job raised (the rest are dropped).
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+    void recordException();
+
+    std::size_t jobs_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run fn(0) .. fn(n - 1) across @p jobs workers and block until all
+ * complete.  Indices are handed out dynamically, so per-index work may
+ * be uneven; with jobs <= 1 the calls happen in index order on the
+ * calling thread.  Rethrows the first exception raised by any call.
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+                 std::size_t jobs = defaultJobs());
+
+} // namespace catsim
+
+#endif // CATSIM_COMMON_PARALLEL_HPP

@@ -60,9 +60,10 @@ class AddressMapper
     MappingPolicy policy() const { return policy_; }
     static std::string policyName(MappingPolicy policy);
 
-  private:
+    /** Floor log2 of a power-of-two field width (0 for v <= 1). */
     static std::uint32_t log2u(std::uint64_t v);
 
+  private:
     DramGeometry geometry_;
     MappingPolicy policy_;
     std::uint32_t offsetBits_;

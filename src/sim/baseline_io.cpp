@@ -1,0 +1,232 @@
+#include "baseline_io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+/** Bump on any layout change; stale files are silently recomputed. */
+constexpr std::uint64_t kMagic = 0x43415453494D4231ULL; // "CATSIMB1"
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+void
+putDouble(std::ostream &os, double v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+bool
+getU64(std::istream &is, std::uint64_t *v)
+{
+    is.read(reinterpret_cast<char *>(v), sizeof *v);
+    return static_cast<bool>(is);
+}
+
+bool
+getDouble(std::istream &is, double *v)
+{
+    is.read(reinterpret_cast<char *>(v), sizeof *v);
+    return static_cast<bool>(is);
+}
+
+/** FNV-1a, for collision-proofing the sanitized file name. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+baselineCacheFileName(const std::string &key, double scale)
+{
+    std::string safe;
+    safe.reserve(key.size());
+    for (char c : key) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '-' || c == '.';
+        safe.push_back(ok ? c : '_');
+    }
+    std::uint64_t scaleBits;
+    static_assert(sizeof scaleBits == sizeof scale, "double is 64-bit");
+    std::memcpy(&scaleBits, &scale, sizeof scaleBits);
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, "-%016llx-%016llx.catb",
+                  static_cast<unsigned long long>(fnv1a(key)),
+                  static_cast<unsigned long long>(scaleBits));
+    return safe + suffix;
+}
+
+bool
+saveBaseline(const std::string &path, const std::string &key,
+             double scale, const TimingResult &result)
+{
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(), ec);
+
+    // Unique temp name per writer (thread id alone can collide across
+    // processes sharing a cache dir); renamed into place atomically.
+    std::ostringstream uniq;
+    uniq << std::this_thread::get_id() << '.' << std::hex
+         << std::random_device{}();
+    const std::string tmp = path + ".tmp." + uniq.str();
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            CATSIM_WARN("baseline cache: cannot write ", tmp);
+            return false;
+        }
+        putU64(os, kMagic);
+        putU64(os, kBaselineModelVersion);
+        putU64(os, key.size());
+        os.write(key.data(),
+                 static_cast<std::streamsize>(key.size()));
+        putDouble(os, scale);
+
+        putU64(os, result.execCycles);
+        putDouble(os, result.execSeconds);
+        putU64(os, result.epochs);
+        putU64(os, result.controller.reads);
+        putU64(os, result.controller.writes);
+        putU64(os, result.controller.writeDrains);
+        putU64(os, result.controller.victimRefreshEvents);
+        putU64(os, result.controller.victimRowsRefreshed);
+        putU64(os, result.controller.lastCompletion);
+        putU64(os, result.scheme.activations);
+        putU64(os, result.scheme.refreshEvents);
+        putU64(os, result.scheme.victimRowsRefreshed);
+        putU64(os, result.scheme.sramAccesses);
+        putU64(os, result.scheme.prngBits);
+        putU64(os, result.scheme.splits);
+        putU64(os, result.scheme.merges);
+        putU64(os, result.scheme.epochResets);
+        putU64(os, result.scheme.counterDramReads);
+        putU64(os, result.scheme.counterDramWrites);
+        putU64(os, result.totalActivations);
+        putU64(os, result.victimRowsRefreshed);
+
+        putU64(os, result.bankStreams.size());
+        for (const auto &stream : result.bankStreams) {
+            putU64(os, stream.size());
+            os.write(reinterpret_cast<const char *>(stream.data()),
+                     static_cast<std::streamsize>(stream.size()
+                                                  * sizeof(RowAddr)));
+        }
+        if (!os) {
+            CATSIM_WARN("baseline cache: short write to ", tmp);
+            os.close();
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        CATSIM_WARN("baseline cache: rename to ", path, " failed: ",
+                    ec.message());
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+loadBaseline(const std::string &path, const std::string &key,
+             double scale, TimingResult *out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+
+    // Total size bounds every length field below, so a corrupt file
+    // can never trigger a huge allocation.
+    is.seekg(0, std::ios::end);
+    const auto endPos = is.tellg();
+    if (endPos < 0)
+        return false;
+    const std::uint64_t fileSize = static_cast<std::uint64_t>(endPos);
+    is.seekg(0, std::ios::beg);
+
+    std::uint64_t magic = 0, version = 0, keyLen = 0;
+    if (!getU64(is, &magic) || magic != kMagic || !getU64(is, &version)
+        || version != kBaselineModelVersion || !getU64(is, &keyLen)
+        || keyLen > 4096)
+        return false;
+    std::string storedKey(keyLen, '\0');
+    is.read(storedKey.data(), static_cast<std::streamsize>(keyLen));
+    double storedScale = 0.0;
+    if (!is || storedKey != key || !getDouble(is, &storedScale)
+        || storedScale != scale)
+        return false;
+
+    TimingResult r;
+    bool ok = getU64(is, &r.execCycles) && getDouble(is, &r.execSeconds)
+              && getU64(is, &r.epochs) && getU64(is, &r.controller.reads)
+              && getU64(is, &r.controller.writes)
+              && getU64(is, &r.controller.writeDrains)
+              && getU64(is, &r.controller.victimRefreshEvents)
+              && getU64(is, &r.controller.victimRowsRefreshed)
+              && getU64(is, &r.controller.lastCompletion)
+              && getU64(is, &r.scheme.activations)
+              && getU64(is, &r.scheme.refreshEvents)
+              && getU64(is, &r.scheme.victimRowsRefreshed)
+              && getU64(is, &r.scheme.sramAccesses)
+              && getU64(is, &r.scheme.prngBits)
+              && getU64(is, &r.scheme.splits)
+              && getU64(is, &r.scheme.merges)
+              && getU64(is, &r.scheme.epochResets)
+              && getU64(is, &r.scheme.counterDramReads)
+              && getU64(is, &r.scheme.counterDramWrites)
+              && getU64(is, &r.totalActivations)
+              && getU64(is, &r.victimRowsRefreshed);
+    if (!ok)
+        return false;
+
+    std::uint64_t banks = 0;
+    if (!getU64(is, &banks) || banks > 65536)
+        return false;
+    r.bankStreams.resize(banks);
+    for (auto &stream : r.bankStreams) {
+        std::uint64_t len = 0;
+        if (!getU64(is, &len) || len > fileSize / sizeof(RowAddr))
+            return false;
+        stream.resize(len);
+        is.read(reinterpret_cast<char *>(stream.data()),
+                static_cast<std::streamsize>(len * sizeof(RowAddr)));
+        if (!is)
+            return false;
+    }
+    // Reject trailing garbage (e.g. a truncated-then-appended file).
+    is.peek();
+    if (!is.eof())
+        return false;
+
+    *out = std::move(r);
+    return true;
+}
+
+} // namespace catsim

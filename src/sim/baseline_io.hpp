@@ -1,0 +1,63 @@
+/**
+ * @file
+ * On-disk persistence for baseline timing results.
+ *
+ * A baseline run is fully determined by (preset, workload, seed,
+ * scale), so its TimingResult - including the recorded per-bank
+ * activation streams that feed every replay - can be cached on disk
+ * and reused across processes.  Repeated bench runs then skip the
+ * timing baseline entirely (the dominant cost at small grids).
+ *
+ * The format is a versioned little-endian binary blob that embeds the
+ * logical cache key and the experiment scale; any mismatch (stale
+ * format, colliding file name, different scale) makes the load fail
+ * and the caller recompute.  Files are written via a temp path plus
+ * atomic rename so concurrent writers can never expose a torn file.
+ */
+
+#ifndef CATSIM_SIM_BASELINE_IO_HPP
+#define CATSIM_SIM_BASELINE_IO_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/timing_sim.hpp"
+
+namespace catsim
+{
+
+/**
+ * Model fingerprint embedded in every cache file.  Bump this whenever
+ * a semantic change (timing model, workload generation, recordsFor
+ * heuristic, preset shapes...) invalidates previously recorded
+ * activation streams, even if the file layout itself is unchanged;
+ * stale files then miss and are recomputed instead of silently
+ * feeding outdated streams into new figures.
+ */
+constexpr std::uint64_t kBaselineModelVersion = 1;
+
+/**
+ * File name (not path) for a baseline cache entry: a sanitized key
+ * plus a hash so distinct keys can never alias one file.
+ */
+std::string baselineCacheFileName(const std::string &key, double scale);
+
+/**
+ * Serialize @p result to @p path.  Creates parent directories.
+ * @return false (with a warning) on I/O failure - caching is best
+ *         effort and never fatal.
+ */
+bool saveBaseline(const std::string &path, const std::string &key,
+                  double scale, const TimingResult &result);
+
+/**
+ * Load a baseline from @p path into @p out.
+ * @return true only if the file exists, parses, and matches @p key
+ *         and @p scale exactly.
+ */
+bool loadBaseline(const std::string &path, const std::string &key,
+                  double scale, TimingResult *out);
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_BASELINE_IO_HPP

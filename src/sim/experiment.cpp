@@ -1,10 +1,12 @@
 #include "experiment.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
+#include "sim/baseline_io.hpp"
 
 namespace catsim
 {
@@ -48,6 +50,24 @@ ExperimentRunner::ExperimentRunner(double scale) : scale_(scale)
 {
     if (scale_ <= 0.0 || scale_ > 1.0)
         CATSIM_FATAL("experiment scale must be in (0, 1], got ", scale_);
+    if (const char *dir = std::getenv("CATSIM_BASELINE_CACHE"))
+        cacheDir_ = dir;
+}
+
+void
+ExperimentRunner::setBaselineCacheDir(const std::string &dir)
+{
+    cacheDir_ = dir;
+}
+
+std::string
+ExperimentRunner::baselineCachePath(SystemPreset preset,
+                                    const WorkloadSpec &workload) const
+{
+    if (cacheDir_.empty())
+        return {};
+    return cacheDir_ + '/'
+           + baselineCacheFileName(cacheKey(preset, workload), scale_);
 }
 
 std::uint32_t
@@ -134,30 +154,83 @@ ExperimentRunner::streamFactory(const WorkloadSpec &workload,
     };
 }
 
-const TimingResult &
-ExperimentRunner::baseline(SystemPreset preset,
-                           const WorkloadSpec &workload)
+ExperimentRunner::BaselinePtr
+ExperimentRunner::computeBaseline(SystemPreset preset,
+                                  const WorkloadSpec &workload,
+                                  const std::string &key)
 {
-    const std::string key = cacheKey(preset, workload);
-    auto it = baselines_.find(key);
-    if (it != baselines_.end())
-        return it->second;
-
     SystemConfig sys = makeSystem(preset);
     sys.scheme.kind = SchemeKind::None;
     sys.recordActivations = true;
     sys.epochScale = scale_;
 
-    auto mapper = std::make_unique<AddressMapper>(sys.geometry,
-                                                  sys.mapping);
-    const std::uint64_t records = recordsFor(workload, sys);
-    auto factory = streamFactory(workload, sys, records, *mapper);
-    mappers_[key] = std::move(mapper);
+    auto entry = std::make_shared<BaselineEntry>();
+    entry->mapper = std::make_unique<AddressMapper>(sys.geometry,
+                                                    sys.mapping);
 
-    TimingResult result = runTiming(sys, factory);
-    auto [pos, inserted] = baselines_.emplace(key, std::move(result));
-    (void)inserted;
-    return pos->second;
+    const std::string path = baselineCachePath(preset, workload);
+    if (!path.empty()
+        && loadBaseline(path, key, scale_, &entry->timing)) {
+        diskLoads_.fetch_add(1);
+        return entry;
+    }
+
+    const std::uint64_t records = recordsFor(workload, sys);
+    auto factory = streamFactory(workload, sys, records,
+                                 *entry->mapper);
+    entry->timing = runTiming(sys, factory);
+    computeCount_.fetch_add(1);
+
+    if (!path.empty())
+        saveBaseline(path, key, scale_, entry->timing);
+    return entry;
+}
+
+const ExperimentRunner::BaselineEntry &
+ExperimentRunner::baselineEntry(SystemPreset preset,
+                                const WorkloadSpec &workload)
+{
+    const std::string key = cacheKey(preset, workload);
+
+    std::promise<BaselinePtr> promise;
+    std::shared_future<BaselinePtr> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = baselines_.find(key);
+        if (it != baselines_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            baselines_.emplace(key, future);
+            owner = true;
+        }
+    }
+    // The owning thread computes outside the lock; everyone else
+    // blocks on the shared future, so a baseline is computed exactly
+    // once no matter how many sweep cells need it concurrently.
+    if (owner) {
+        try {
+            promise.set_value(computeBaseline(preset, workload, key));
+        } catch (...) {
+            // Waiters see the real error; dropping the cache entry
+            // lets a later call retry instead of hitting a
+            // broken_promise forever.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                baselines_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return *future.get();
+}
+
+const TimingResult &
+ExperimentRunner::baseline(SystemPreset preset,
+                           const WorkloadSpec &workload)
+{
+    return baselineEntry(preset, workload).timing;
 }
 
 EvalResult
@@ -205,17 +278,16 @@ ExperimentRunner::evalEto(SystemPreset preset,
                           const WorkloadSpec &workload,
                           const SchemeConfig &scheme)
 {
-    const TimingResult &base = baseline(preset, workload);
+    const BaselineEntry &entry = baselineEntry(preset, workload);
+    const TimingResult &base = entry.timing;
 
     SystemConfig sys = makeSystem(preset);
     sys.scheme = scaledScheme(scheme);
     sys.recordActivations = false;
     sys.epochScale = scale_;
 
-    const std::string key = cacheKey(preset, workload);
-    const AddressMapper &mapper = *mappers_.at(key);
     const std::uint64_t records = recordsFor(workload, sys);
-    auto factory = streamFactory(workload, sys, records, mapper);
+    auto factory = streamFactory(workload, sys, records, *entry.mapper);
 
     const TimingResult mitigated = runTiming(sys, factory);
     const double raw = eto(base.execSeconds, mitigated.execSeconds);

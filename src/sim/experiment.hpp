@@ -20,8 +20,11 @@
 #ifndef CATSIM_SIM_EXPERIMENT_HPP
 #define CATSIM_SIM_EXPERIMENT_HPP
 
+#include <atomic>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/config.hpp"
@@ -66,7 +69,21 @@ struct EvalResult
     double baselineSeconds = 0.0;
 };
 
-/** Orchestrates baseline caching, replays and timing runs. */
+/**
+ * Orchestrates baseline caching, replays and timing runs.
+ *
+ * Thread safety: every public method may be called concurrently (the
+ * SweepRunner does).  The baseline cache hands out one shared_future
+ * per (preset, workload) key, so concurrent evaluations that share a
+ * baseline compute it exactly once and the rest block on the future.
+ * Cached entries live for the runner's lifetime, so returned
+ * references stay valid.
+ *
+ * Disk persistence: when CATSIM_BASELINE_CACHE names a directory (or
+ * setBaselineCacheDir() is called), computed baselines - including
+ * their recorded activation streams - are serialized there and later
+ * runs load them instead of re-running the timing simulation.
+ */
 class ExperimentRunner
 {
   public:
@@ -105,7 +122,37 @@ class ExperimentRunner
     /** Scale a paper threshold for simulation. */
     std::uint32_t scaledThreshold(std::uint32_t threshold) const;
 
+    /**
+     * Directory for on-disk baseline persistence; "" disables it.
+     * Defaults to the CATSIM_BASELINE_CACHE environment variable.
+     * Not thread-safe against in-flight evaluations - set it up front.
+     */
+    void setBaselineCacheDir(const std::string &dir);
+    const std::string &baselineCacheDir() const { return cacheDir_; }
+
+    /** On-disk path a baseline would use; "" when caching is off. */
+    std::string baselineCachePath(SystemPreset preset,
+                                  const WorkloadSpec &workload) const;
+
+    /** Timing simulations actually executed (cache misses). */
+    std::uint64_t baselineComputeCount() const
+    {
+        return computeCount_.load();
+    }
+
+    /** Baselines satisfied from the on-disk cache. */
+    std::uint64_t baselineDiskLoads() const { return diskLoads_.load(); }
+
   private:
+    /** A cached baseline plus the mapper its streams were built with. */
+    struct BaselineEntry
+    {
+        // The mapper must outlive the stream factories referencing it.
+        std::unique_ptr<AddressMapper> mapper;
+        TimingResult timing;
+    };
+    using BaselinePtr = std::shared_ptr<const BaselineEntry>;
+
     StreamFactory streamFactory(const WorkloadSpec &workload,
                                 const SystemConfig &sys,
                                 std::uint64_t records,
@@ -113,11 +160,18 @@ class ExperimentRunner
     SchemeConfig scaledScheme(const SchemeConfig &scheme) const;
     std::string cacheKey(SystemPreset preset,
                          const WorkloadSpec &workload) const;
+    const BaselineEntry &baselineEntry(SystemPreset preset,
+                                       const WorkloadSpec &workload);
+    BaselinePtr computeBaseline(SystemPreset preset,
+                                const WorkloadSpec &workload,
+                                const std::string &key);
 
     double scale_;
-    std::map<std::string, TimingResult> baselines_;
-    // Mappers must outlive the stream factories that reference them.
-    std::map<std::string, std::unique_ptr<AddressMapper>> mappers_;
+    std::string cacheDir_;
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<BaselinePtr>> baselines_;
+    std::atomic<std::uint64_t> computeCount_{0};
+    std::atomic<std::uint64_t> diskLoads_{0};
 };
 
 } // namespace catsim

@@ -1,0 +1,41 @@
+#include "sweep.hpp"
+
+namespace catsim
+{
+
+SweepRunner::SweepRunner(double scale, std::size_t jobs)
+    : runner_(scale), jobs_(jobs ? jobs : 1)
+{
+}
+
+std::vector<EvalResult>
+SweepRunner::runCmrpo(const std::vector<SweepCell> &cells)
+{
+    std::vector<EvalResult> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results](std::size_t i) {
+            const SweepCell &c = cells[i];
+            results[i] =
+                runner_.evalCmrpo(c.preset, c.workload, c.scheme);
+        },
+        jobs_);
+    return results;
+}
+
+std::vector<double>
+SweepRunner::runEto(const std::vector<SweepCell> &cells)
+{
+    std::vector<double> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results](std::size_t i) {
+            const SweepCell &c = cells[i];
+            results[i] =
+                runner_.evalEto(c.preset, c.workload, c.scheme);
+        },
+        jobs_);
+    return results;
+}
+
+} // namespace catsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parallel sweep engine over experiment grids.
+ *
+ * The paper's headline figures are grids of independent
+ * workload x scheme x system evaluations (Fig 10: counters x levels x
+ * thresholds x 18 workloads), so a SweepRunner takes the whole grid as
+ * a flat vector of cells and evaluates them across a thread pool
+ * (CATSIM_JOBS workers by default).  Results come back indexed by cell
+ * - never by completion order - and every cell's evaluation is
+ * deterministic given its spec, so the output is bit-identical to the
+ * serial path at any job count.
+ *
+ * Cells that share a (preset, workload) pair share one baseline timing
+ * run: the underlying ExperimentRunner's cache hands out per-key
+ * shared futures, so the first cell to need a baseline computes it and
+ * concurrent cells block instead of duplicating the work.
+ */
+
+#ifndef CATSIM_SIM_SWEEP_HPP
+#define CATSIM_SIM_SWEEP_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "sim/experiment.hpp"
+
+namespace catsim
+{
+
+/** One grid point: what to run and which scheme to evaluate. */
+struct SweepCell
+{
+    SystemPreset preset = SystemPreset::DualCore2Ch;
+    WorkloadSpec workload;
+    SchemeConfig scheme;
+};
+
+/** Evaluates experiment grids concurrently. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param scale Experiment scale forwarded to ExperimentRunner.
+     * @param jobs  Worker count (1 = serial; default CATSIM_JOBS).
+     */
+    explicit SweepRunner(double scale = experimentScale(),
+                         std::size_t jobs = defaultJobs());
+
+    /** CMRPO replay for every cell; results[i] belongs to cells[i]. */
+    std::vector<EvalResult> runCmrpo(const std::vector<SweepCell> &cells);
+
+    /** ETO timing run for every cell; results[i] belongs to cells[i]. */
+    std::vector<double> runEto(const std::vector<SweepCell> &cells);
+
+    /** The shared runner (baseline cache, counters, disk cache dir). */
+    ExperimentRunner &runner() { return runner_; }
+
+    std::size_t jobs() const { return jobs_; }
+    double scale() const { return runner_.scale(); }
+
+  private:
+    ExperimentRunner runner_;
+    std::size_t jobs_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_SWEEP_HPP

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/experiment.hpp"
 
 namespace catsim
@@ -12,6 +14,13 @@ namespace catsim
 
 namespace
 {
+
+// Keep the suite hermetic: an inherited CATSIM_BASELINE_CACHE would
+// make runners read/write a user cache dir during tests.
+const bool kEnvScrubbed = [] {
+    ::unsetenv("CATSIM_BASELINE_CACHE");
+    return true;
+}();
 
 /** Tiny scale so each test runs in well under a second. */
 constexpr double kTestScale = 0.02;

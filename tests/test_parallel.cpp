@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the thread pool and parallelFor (common/parallel).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+/** RAII guard that restores CATSIM_JOBS after a test. */
+class JobsEnvGuard
+{
+  public:
+    JobsEnvGuard()
+    {
+        const char *v = std::getenv("CATSIM_JOBS");
+        if (v)
+            saved_ = v;
+        had_ = v != nullptr;
+    }
+    ~JobsEnvGuard()
+    {
+        if (had_)
+            ::setenv("CATSIM_JOBS", saved_.c_str(), 1);
+        else
+            ::unsetenv("CATSIM_JOBS");
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+} // namespace
+
+TEST(Parallel, DefaultJobsHonoursEnv)
+{
+    JobsEnvGuard guard;
+    ::setenv("CATSIM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::setenv("CATSIM_JOBS", "1", 1);
+    EXPECT_EQ(defaultJobs(), 1u);
+}
+
+TEST(Parallel, DefaultJobsRejectsGarbage)
+{
+    JobsEnvGuard guard;
+    for (const char *bad : {"0", "-2", "abc", "4x", ""}) {
+        ::setenv("CATSIM_JOBS", bad, 1);
+        EXPECT_GE(defaultJobs(), 1u) << "input: " << bad;
+        EXPECT_NE(defaultJobs(), 0u) << "input: " << bad;
+    }
+    ::unsetenv("CATSIM_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Parallel, ThreadPoolRunsEveryJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(Parallel, ThreadPoolInlineWhenSingleJob)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    // Inline execution: the job has run by the time submit returns.
+    int value = 0;
+    pool.submit([&value] { value = 7; });
+    EXPECT_EQ(value, 7);
+    pool.wait();
+}
+
+TEST(Parallel, ThreadPoolReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (batch + 1) * 50);
+    }
+}
+
+TEST(Parallel, ThreadPoolPropagatesFirstException)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([i] {
+            if (i == 3)
+                throw std::runtime_error("boom");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool keeps working afterwards.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(Parallel, ParallelForCoversEachIndexOnce)
+{
+    const std::size_t n = 337;
+    // Distinct vector elements: no synchronization needed per slot.
+    std::vector<int> hits(n, 0);
+    parallelFor(
+        n, [&hits](std::size_t i) { ++hits[i]; }, 5);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(Parallel, ParallelForSerialRunsInIndexOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(
+        10, [&order](std::size_t i) { order.push_back(i); }, 1);
+    std::vector<std::size_t> expect(10);
+    std::iota(expect.begin(), expect.end(), 0u);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(Parallel, ParallelForZeroAndExcessWorkers)
+{
+    std::atomic<int> counter{0};
+    parallelFor(0, [&counter](std::size_t) { counter.fetch_add(1); }, 4);
+    EXPECT_EQ(counter.load(), 0);
+    // More workers than items must still hit every item exactly once.
+    parallelFor(3, [&counter](std::size_t) { counter.fetch_add(1); }, 16);
+    EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(Parallel, ParallelForPropagatesException)
+{
+    EXPECT_THROW(parallelFor(
+                     20,
+                     [](std::size_t i) {
+                         if (i == 11)
+                             throw std::runtime_error("cell failed");
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+} // namespace catsim
