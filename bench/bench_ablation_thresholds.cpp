@@ -10,7 +10,15 @@
  *              (T/2 last, 2^(1/3) ratio, halved first)
  *   eager    - all split thresholds = T/16 (split as soon as possible)
  *   lazy     - all split thresholds = T/2 (split late, near refresh)
- * measuring victim rows refreshed per bank per epoch and the CMRPO.
+ * measuring victim rows refreshed per bank per epoch and the mean
+ * CMRPO (the latter through SchemeConfig::splitThresholds, which the
+ * runner co-scales with T).
+ *
+ * Both metrics run as SweepRunner grids: the victim-row replays as
+ * (schedule x 18 workloads) runMetric cells tagged with the schedule,
+ * the CMRPO means as the usual scheme-config grid.  Per-schedule means
+ * accumulate in suite order, so the victim-row numbers match the old
+ * serial loops bit for bit at any CATSIM_JOBS.
  */
 
 #include <iostream>
@@ -33,6 +41,9 @@ enum class Schedule
     Lazy,
 };
 
+constexpr Schedule kSchedules[] = {Schedule::Paper, Schedule::Eager,
+                                   Schedule::Lazy};
+
 std::vector<std::uint32_t>
 makeSchedule(Schedule kind, std::uint32_t M, std::uint32_t L,
              std::uint32_t T)
@@ -54,21 +65,31 @@ makeSchedule(Schedule kind, std::uint32_t M, std::uint32_t L,
     return {};
 }
 
-/** Replay one bank stream through a CAT with a custom schedule. */
-Count
-replayRows(const std::vector<std::vector<RowAddr>> &streams,
-           const std::vector<std::uint32_t> &schedule, std::uint32_t T,
-           RowAddr rows)
+/** Victim rows per bank per epoch for one (schedule, workload) cell:
+ *  replay the cached baseline streams through a custom-schedule CAT. */
+double
+victimRowsMetric(ExperimentRunner &runner, const SweepCell &cell)
 {
+    const std::uint32_t T = runner.scaledThreshold(32768);
+    const auto &base =
+        runner.baseline(SystemPreset::DualCore2Ch, cell.workload);
+    const double norm =
+        static_cast<double>(base.bankStreams.size())
+        * std::max<double>(1.0, static_cast<double>(base.epochs));
+    const RowAddr rows =
+        makeSystem(SystemPreset::DualCore2Ch).geometry.rowsPerBank;
+
+    CatTree::Params p;
+    p.numRows = rows;
+    p.numCounters = 64;
+    p.maxLevels = 11;
+    p.refreshThreshold = T;
+    p.splitThresholds = makeSchedule(
+        static_cast<Schedule>(cell.tag), 64, 11, T);
+    p.enableWeights = true;
+
     Count victims = 0;
-    for (const auto &stream : streams) {
-        CatTree::Params p;
-        p.numRows = rows;
-        p.numCounters = 64;
-        p.maxLevels = 11;
-        p.refreshThreshold = T;
-        p.splitThresholds = schedule;
-        p.enableWeights = true;
+    for (const auto &stream : base.bankStreams) {
         CatTree tree(p);
         for (const RowAddr r : stream) {
             if (r == kEpochMarker) {
@@ -78,7 +99,18 @@ replayRows(const std::vector<std::vector<RowAddr>> &streams,
             victims += tree.access(r).rowsRefreshed;
         }
     }
-    return victims;
+    return static_cast<double>(victims) / norm;
+}
+
+const char *
+scheduleName(Schedule s)
+{
+    switch (s) {
+      case Schedule::Paper: return "paper";
+      case Schedule::Eager: return "eager";
+      case Schedule::Lazy: return "lazy";
+    }
+    return "?";
 }
 
 } // namespace
@@ -87,49 +119,63 @@ int
 main()
 {
     const double scale = benchScale();
+    SweepRunner sweep(scale);
     benchBanner("Ablation: split-threshold schedules (DRCAT_64/L11)",
-                scale);
-    ExperimentRunner runner(scale);
-    const std::uint32_t T = runner.scaledThreshold(32768);
+                scale, sweep.jobs());
 
-    RunningStat rowsPaper, rowsEager, rowsLazy;
-    for (const auto &profile : workloadSuite()) {
-        WorkloadSpec w;
-        w.name = profile.name;
-        const auto &base =
-            runner.baseline(SystemPreset::DualCore2Ch, w);
-        const double norm =
-            static_cast<double>(base.bankStreams.size())
-            * std::max<double>(1.0, static_cast<double>(base.epochs));
-        const RowAddr rows =
-            makeSystem(SystemPreset::DualCore2Ch).geometry.rowsPerBank;
-        rowsPaper.add(replayRows(base.bankStreams,
-                                 makeSchedule(Schedule::Paper, 64, 11,
-                                              T),
-                                 T, rows)
-                      / norm);
-        rowsEager.add(replayRows(base.bankStreams,
-                                 makeSchedule(Schedule::Eager, 64, 11,
-                                              T),
-                                 T, rows)
-                      / norm);
-        rowsLazy.add(replayRows(base.bankStreams,
-                                makeSchedule(Schedule::Lazy, 64, 11,
-                                             T),
-                                T, rows)
-                     / norm);
+    const auto &suite = workloadSuite();
+
+    // Grid 1: victim rows / bank / epoch, schedule-major then suite
+    // order (the accumulation order of the old serial loops).
+    std::vector<SweepCell> rowCells;
+    rowCells.reserve(std::size(kSchedules) * suite.size());
+    for (const Schedule s : kSchedules) {
+        for (const auto &profile : suite) {
+            SweepCell c;
+            c.workload.name = profile.name;
+            c.tag = static_cast<std::uint64_t>(s);
+            rowCells.push_back(c);
+        }
     }
+    const auto victims = sweep.runMetric(rowCells, victimRowsMetric);
+
+    // Grid 2: mean CMRPO per schedule via custom-schedule DRCAT
+    // configs (built from the paper threshold; the runner co-scales).
+    std::vector<SchemeConfig> configs;
+    for (const Schedule s : kSchedules) {
+        SchemeConfig cfg = mkScheme(SchemeKind::Drcat, 64, 11, 32768);
+        cfg.splitThresholds = makeSchedule(s, 64, 11, 32768);
+        configs.push_back(std::move(cfg));
+    }
+    const std::vector<double> cmrpoMeans =
+        suiteMeanCmrpo(sweep, configs);
+
+    std::vector<RunningStat> rowsPerSchedule(std::size(kSchedules));
+    std::size_t idx = 0;
+    for (std::size_t s = 0; s < std::size(kSchedules); ++s)
+        for (std::size_t w = 0; w < suite.size(); ++w)
+            rowsPerSchedule[s].add(victims[idx++]);
 
     TextTable table({"schedule", "victim rows / bank / epoch",
-                     "vs paper"});
-    auto row = [&](const char *name, const RunningStat &s) {
-        table.addRow({name, TextTable::fixed(s.mean(), 1),
-                      TextTable::fixed(s.mean() / rowsPaper.mean(),
-                                       2)});
-    };
-    row("paper (Section IV-D)", rowsPaper);
-    row("eager (all T/16)", rowsEager);
-    row("lazy  (all T/2)", rowsLazy);
+                     "vs paper", "mean CMRPO"});
+    for (std::size_t s = 0; s < std::size(kSchedules); ++s) {
+        const char *name = scheduleName(kSchedules[s]);
+        table.addRow(
+            {std::string(name)
+                 + (kSchedules[s] == Schedule::Paper
+                        ? " (Section IV-D)"
+                        : kSchedules[s] == Schedule::Eager
+                            ? " (all T/16)"
+                            : "  (all T/2)"),
+             TextTable::fixed(rowsPerSchedule[s].mean(), 1),
+             TextTable::fixed(rowsPerSchedule[s].mean()
+                                  / rowsPerSchedule[0].mean(),
+                              2),
+             TextTable::pct(cmrpoMeans[s], 2)});
+        benchMetric(std::string("victim_rows_per_bank_epoch_") + name,
+                    rowsPerSchedule[s].mean());
+        benchMetric(std::string("cmrpo_mean_") + name, cmrpoMeans[s]);
+    }
     table.print(std::cout);
 
     std::cout << "\nReading: eager splitting burns counters on groups "

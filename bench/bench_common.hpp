@@ -8,7 +8,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,24 @@ suiteMeanCmrpo(SweepRunner &sweep,
         means[c] = stat.mean();
     }
     return means;
+}
+
+/**
+ * Emit a machine-readable result metric.  run_benches.sh collects
+ * every `@@METRIC <name> <value>` line from a bench's log into the
+ * "metrics" object of its BENCH_<name>.json, so per-figure result
+ * values (mean CMRPO/ETO per scheme) are tracked across PRs alongside
+ * wall time.  @p name must be space-free; spaces are replaced.
+ */
+inline void
+benchMetric(std::string name, double value)
+{
+    for (char &c : name)
+        if (c == ' ' || c == '\t' || c == '"')
+            c = '_';
+    std::ostringstream os;
+    os << "@@METRIC " << name << ' ' << std::setprecision(10) << value;
+    std::cout << os.str() << '\n';
 }
 
 /** Scheme shorthand used by several figures. */

@@ -4,6 +4,11 @@
  * vulnerable rows, for the same scheme matrix as Fig 8.  ETO comes
  * from full closed-loop timing runs: victim refreshes block their
  * bank, delaying subsequent requests.
+ *
+ * Each T-figure is one SweepRunner ETO grid (18 workloads x 5
+ * schemes); every cell is an independent timing run, so this is the
+ * bench that gains the most from CATSIM_JOBS.  Rows are reassembled
+ * from the cell-indexed results, bit-identical to the serial loops.
  */
 
 #include <iostream>
@@ -18,7 +23,7 @@ namespace
 {
 
 void
-figure(ExperimentRunner &runner, std::uint32_t threshold)
+figure(SweepRunner &sweep, std::uint32_t threshold)
 {
     const double p = praProbabilityFor(threshold);
     const SchemeConfig configs[] = {
@@ -29,6 +34,19 @@ figure(ExperimentRunner &runner, std::uint32_t threshold)
         mkScheme(SchemeKind::Drcat, 64, 11, threshold),
     };
 
+    const auto &suite = workloadSuite();
+    std::vector<SweepCell> cells;
+    cells.reserve(suite.size() * std::size(configs));
+    for (const auto &profile : suite) {
+        for (const auto &cfg : configs) {
+            SweepCell c;
+            c.workload.name = profile.name;
+            c.scheme = cfg;
+            cells.push_back(c);
+        }
+    }
+    const auto etos = sweep.runEto(cells);
+
     std::cout << "--- T = " << threshold / 1024 << "K ---\n";
     std::vector<std::string> header{"workload", "suite"};
     for (const auto &c : configs)
@@ -36,21 +54,23 @@ figure(ExperimentRunner &runner, std::uint32_t threshold)
     TextTable table(header);
 
     std::vector<RunningStat> mean(std::size(configs));
-    for (const auto &profile : workloadSuite()) {
-        WorkloadSpec w;
-        w.name = profile.name;
+    std::size_t idx = 0;
+    for (const auto &profile : suite) {
         std::vector<std::string> row{profile.name, profile.suite};
         for (std::size_t i = 0; i < std::size(configs); ++i) {
-            const double e = runner.evalEto(SystemPreset::DualCore2Ch,
-                                            w, configs[i]);
+            const double e = etos[idx++];
             mean[i].add(e);
             row.push_back(TextTable::pct(e, 3));
         }
         table.addRow(std::move(row));
     }
     std::vector<std::string> meanRow{"Mean", "-"};
-    for (auto &m : mean)
-        meanRow.push_back(TextTable::pct(m.mean(), 3));
+    for (std::size_t i = 0; i < std::size(configs); ++i) {
+        meanRow.push_back(TextTable::pct(mean[i].mean(), 3));
+        benchMetric("eto_mean_T" + std::to_string(threshold / 1024)
+                        + "K_" + configs[i].label(),
+                    mean[i].mean());
+    }
     table.addRow(std::move(meanRow));
     table.print(std::cout);
     std::cout << '\n';
@@ -62,10 +82,11 @@ int
 main()
 {
     const double scale = benchScale();
-    benchBanner("Fig 9: execution time overhead (ETO)", scale);
-    ExperimentRunner runner(scale);
-    figure(runner, 32768);
-    figure(runner, 16384);
+    SweepRunner sweep(scale);
+    benchBanner("Fig 9: execution time overhead (ETO)", scale,
+                sweep.jobs());
+    figure(sweep, 32768);
+    figure(sweep, 16384);
     std::cout << "Expected shape (paper, T=32K): PRA 0.26%, SCA64 "
                  "1.32%, SCA128 0.43%, PRCAT64 0.23%, DRCAT64 0.16%; "
                  "all grow at T=16K with SCA64 worst (3.42%).\n";

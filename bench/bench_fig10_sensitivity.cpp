@@ -56,9 +56,21 @@ figure(SweepRunner &sweep, std::uint32_t threshold)
     }
 
     const std::vector<double> means = suiteMeanCmrpo(sweep, configs);
-    for (std::size_t i = 0; i < means.size(); ++i)
+    for (std::size_t i = 0; i < means.size(); ++i) {
         rows[slots[i].first][slots[i].second] =
             TextTable::pct(means[i], 2);
+        // Track the headline columns across PRs: SCA and the paper's
+        // L=11 depth for every counter count.
+        if (configs[i].kind == SchemeKind::Sca
+            || configs[i].maxLevels == 11)
+            benchMetric("cmrpo_mean_T"
+                            + std::to_string(threshold / 1024) + "K_"
+                            + configs[i].label()
+                            + (configs[i].kind == SchemeKind::Sca
+                                   ? ""
+                                   : "_L11"),
+                        means[i]);
+    }
 
     TextTable table({"M", "SCA", "L6", "L7", "L8", "L9", "L10", "L11",
                      "L12", "L13", "L14"});

@@ -5,6 +5,11 @@
  * DRCAT_64) vs quad-core/2-channel and quad-core/4-channel (SCA_256,
  * PRCAT_128, DRCAT_128), for T=32K and T=16K.  Quad-core banks have
  * 128K rows (paper Fig 11 caption).
+ *
+ * Each T-figure is one SweepRunner grid over
+ * (system x 4 schemes x 18 workloads); per-config means accumulate in
+ * suite order from the cell-indexed results, so the table matches the
+ * old serial loops bit for bit at any CATSIM_JOBS.
  */
 
 #include <iostream>
@@ -18,25 +23,11 @@ using namespace catsim;
 namespace
 {
 
-double
-meanCmrpo(ExperimentRunner &runner, SystemPreset preset,
-          const SchemeConfig &cfg)
-{
-    RunningStat stat;
-    for (const auto &profile : workloadSuite()) {
-        WorkloadSpec w;
-        w.name = profile.name;
-        stat.add(runner.evalCmrpo(preset, w, cfg).cmrpo);
-    }
-    return stat.mean();
-}
-
 void
-figure(ExperimentRunner &runner, std::uint32_t threshold)
+figure(SweepRunner &sweep, std::uint32_t threshold)
 {
     const double p = praProbabilityFor(threshold);
     std::cout << "--- T = " << threshold / 1024 << "K ---\n";
-    TextTable table({"system", "PRA", "SCA", "PRCAT", "DRCAT"});
 
     struct Row
     {
@@ -49,27 +40,46 @@ figure(ExperimentRunner &runner, std::uint32_t threshold)
         {"quad-core/2ch", SystemPreset::QuadCore2Ch, 256, 128},
         {"quad-core/4ch", SystemPreset::QuadCore4Ch, 256, 128},
     };
+
+    // 4 scheme configs per system row, 18 workloads per config.
+    const auto &suite = workloadSuite();
+    std::vector<SweepCell> cells;
+    cells.reserve(std::size(rows) * 4 * suite.size());
     for (const Row &r : rows) {
-        table.addRow(
-            {r.name,
-             TextTable::pct(meanCmrpo(runner, r.preset,
-                                      mkScheme(SchemeKind::Pra, 0, 0,
-                                               threshold, p)),
-                            2),
-             TextTable::pct(meanCmrpo(runner, r.preset,
-                                      mkScheme(SchemeKind::Sca, r.sca,
-                                               0, threshold)),
-                            2),
-             TextTable::pct(
-                 meanCmrpo(runner, r.preset,
-                           mkScheme(SchemeKind::Prcat, r.cat, 11,
-                                    threshold)),
-                 2),
-             TextTable::pct(
-                 meanCmrpo(runner, r.preset,
-                           mkScheme(SchemeKind::Drcat, r.cat, 11,
-                                    threshold)),
-                 2)});
+        const SchemeConfig cfgs[] = {
+            mkScheme(SchemeKind::Pra, 0, 0, threshold, p),
+            mkScheme(SchemeKind::Sca, r.sca, 0, threshold),
+            mkScheme(SchemeKind::Prcat, r.cat, 11, threshold),
+            mkScheme(SchemeKind::Drcat, r.cat, 11, threshold),
+        };
+        for (const SchemeConfig &cfg : cfgs) {
+            for (const auto &profile : suite) {
+                SweepCell c;
+                c.preset = r.preset;
+                c.workload.name = profile.name;
+                c.scheme = cfg;
+                cells.push_back(c);
+            }
+        }
+    }
+    const auto results = sweep.runCmrpo(cells);
+
+    TextTable table({"system", "PRA", "SCA", "PRCAT", "DRCAT"});
+    const char *schemeNames[] = {"PRA", "SCA", "PRCAT", "DRCAT"};
+    std::size_t idx = 0;
+    for (const Row &r : rows) {
+        std::vector<std::string> out{r.name};
+        for (const char *scheme : schemeNames) {
+            RunningStat stat;
+            for (std::size_t w = 0; w < suite.size(); ++w)
+                stat.add(results[idx++].cmrpo);
+            out.push_back(TextTable::pct(stat.mean(), 2));
+            benchMetric("cmrpo_mean_T"
+                            + std::to_string(threshold / 1024) + "K_"
+                            + std::string(r.name) + "_" + scheme,
+                        stat.mean());
+        }
+        table.addRow(std::move(out));
     }
     table.print(std::cout);
     std::cout << '\n';
@@ -81,10 +91,11 @@ int
 main()
 {
     const double scale = benchScale();
-    benchBanner("Fig 11: mapping policy and core count", scale);
-    ExperimentRunner runner(scale);
-    figure(runner, 32768);
-    figure(runner, 16384);
+    SweepRunner sweep(scale);
+    benchBanner("Fig 11: mapping policy and core count", scale,
+                sweep.jobs());
+    figure(sweep, 32768);
+    figure(sweep, 16384);
     std::cout << "Expected shape (paper): quad-core/2ch worst (more "
                  "traffic per bank, SCA hit hardest - 21% vs DRCAT 7% "
                  "at T=16K); the 4-channel policy lowers CMRPO for all "

@@ -63,6 +63,11 @@ main()
                       TextTable::pct(means[idx + 1], 2),
                       TextTable::pct(means[idx + 2], 2),
                       TextTable::pct(means[idx + 3], 2)});
+        for (std::size_t k = 0; k < 4; ++k)
+            benchMetric("cmrpo_mean_T"
+                            + std::to_string(r.threshold / 1024) + "K_"
+                            + configs[idx + k].label(),
+                        means[idx + k]);
         idx += 4;
     }
     table.print(std::cout);

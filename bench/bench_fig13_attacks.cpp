@@ -87,6 +87,7 @@ main()
     const std::vector<double> etos = sweep.runEto(cells);
 
     TextTable table({"T", "mode", "SCA", "PRCAT", "DRCAT"});
+    const char *schemeNames[] = {"SCA", "PRCAT", "DRCAT"};
     std::size_t idx = 0;
     for (std::uint32_t threshold : {32768u, 16384u, 8192u}) {
         for (AttackMode mode : modes) {
@@ -98,6 +99,12 @@ main()
                 for (std::uint64_t k = 1; k <= kernels; ++k)
                     stat.add(etos[idx++]);
                 row.push_back(TextTable::pct(stat.mean(), 3));
+                benchMetric("eto_mean_T"
+                                + std::to_string(threshold / 1024)
+                                + "K_"
+                                + std::string(attackModeName(mode))
+                                + "_" + schemeNames[scheme],
+                            stat.mean());
             }
             table.addRow(std::move(row));
         }

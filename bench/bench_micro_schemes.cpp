@@ -17,12 +17,14 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
+#include "sim/activation_sim.hpp"
 #include "sim/sweep.hpp"
 #include "core/cat_tree.hpp"
 #include "core/counter_cache.hpp"
 #include "core/drcat.hpp"
 #include "core/pra.hpp"
 #include "core/prcat.hpp"
+#include "core/reference_cat_tree.hpp"
 #include "core/sca.hpp"
 #include "core/split_thresholds.hpp"
 
@@ -109,17 +111,64 @@ BM_CounterCacheActivate(benchmark::State &state)
 }
 BENCHMARK(BM_CounterCacheActivate);
 
-void
-BM_CatTreeHammer(benchmark::State &state)
+CatTree::Params
+catParams(std::uint32_t M, std::uint32_t L, std::uint32_t T,
+          bool weights = false)
 {
-    // Worst-case deep leaf: single-row hammer after full growth.
     CatTree::Params p;
     p.numRows = kRows;
-    p.numCounters = 64;
-    p.maxLevels = 11;
-    p.refreshThreshold = 32768;
-    p.splitThresholds = computeSplitThresholds(64, 11, 32768);
-    CatTree tree(p);
+    p.numCounters = M;
+    p.maxLevels = L;
+    p.refreshThreshold = T;
+    p.splitThresholds = computeSplitThresholds(M, L, T);
+    p.enableWeights = weights;
+    return p;
+}
+
+/**
+ * CatTree::access on a replay-like skewed-random stream over a grown
+ * tree - the walk the CMRPO figures spend their time in.  Instantiated
+ * for both the flattened production tree and the frozen pointer-chasing
+ * reference, so the Flat/Ref ratio IS the hot-path speedup (the PR 3
+ * acceptance bar is Flat >= 3x Ref here).
+ */
+template <typename TreeT>
+void
+catTreeAccessBench(benchmark::State &state, bool weights)
+{
+    TreeT tree(catParams(64, 11, 32768, weights));
+    const auto &stream = rowStream();
+    for (std::size_t i = 0; i < (1 << 18); ++i)
+        tree.access(stream[i & 0xFFFF]); // grow to steady state
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.access(stream[i & 0xFFFF]));
+        ++i;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_CatTreeAccessFlat(benchmark::State &state)
+{
+    catTreeAccessBench<CatTree>(state, state.range(0) != 0);
+}
+BENCHMARK(BM_CatTreeAccessFlat)->Arg(0)->Arg(1);
+
+void
+BM_CatTreeAccessRef(benchmark::State &state)
+{
+    catTreeAccessBench<ReferenceCatTree>(state, state.range(0) != 0);
+}
+BENCHMARK(BM_CatTreeAccessRef)->Arg(0)->Arg(1);
+
+/** Worst-case deep leaf: single-row hammer after full growth. */
+template <typename TreeT>
+void
+catTreeHammerBench(benchmark::State &state)
+{
+    TreeT tree(catParams(64, 11, 32768));
     for (int i = 0; i < 40000; ++i)
         tree.access(42);
     for (auto _ : state)
@@ -127,7 +176,84 @@ BM_CatTreeHammer(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
 }
+
+void
+BM_CatTreeHammer(benchmark::State &state)
+{
+    catTreeHammerBench<CatTree>(state);
+}
 BENCHMARK(BM_CatTreeHammer);
+
+void
+BM_CatTreeHammerRef(benchmark::State &state)
+{
+    catTreeHammerBench<ReferenceCatTree>(state);
+}
+BENCHMARK(BM_CatTreeHammerRef);
+
+/**
+ * DRCAT refresh storm with many counters: a tiny threshold makes every
+ * ~T-th access a weighted refresh, which costs the reference an O(M)
+ * weight sweep plus a linear merge-candidate scan, vs. the flat tree's
+ * lazy ordinal bump and candidate bitset.
+ */
+template <typename TreeT>
+void
+catTreeRefreshStormBench(benchmark::State &state)
+{
+    TreeT tree(catParams(512, 11, 512, true));
+    Xoshiro256StarStar rng(7);
+    for (std::size_t i = 0; i < (1 << 18); ++i)
+        tree.access(rng.nextDouble() < 0.8
+            ? 42
+            : static_cast<RowAddr>(rng.nextBounded(kRows)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.access(42));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_CatTreeRefreshStormFlat(benchmark::State &state)
+{
+    catTreeRefreshStormBench<CatTree>(state);
+}
+BENCHMARK(BM_CatTreeRefreshStormFlat);
+
+void
+BM_CatTreeRefreshStormRef(benchmark::State &state)
+{
+    catTreeRefreshStormBench<ReferenceCatTree>(state);
+}
+BENCHMARK(BM_CatTreeRefreshStormRef);
+
+void
+BM_ReplayActivationsDrcat(benchmark::State &state)
+{
+    // End-to-end batched replay (chunked onActivateBatch) of one
+    // marker-laced bank stream, the CMRPO evaluation inner loop.
+    std::vector<std::vector<RowAddr>> streams(1);
+    auto &s = streams[0];
+    s.reserve(1 << 18);
+    const auto &rows = rowStream();
+    for (std::size_t i = 0; i < (1 << 18); ++i) {
+        if (i % 50000 == 49999)
+            s.push_back(kEpochMarker);
+        else
+            s.push_back(rows[i & 0xFFFF]);
+    }
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 64;
+    cfg.maxLevels = 11;
+    cfg.threshold = 1024;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            replayActivations(streams, cfg, kRows));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * static_cast<std::int64_t>(s.size())));
+}
+BENCHMARK(BM_ReplayActivationsDrcat)->Unit(benchmark::kMillisecond);
 
 void
 BM_CatTreeReset(benchmark::State &state)

@@ -45,17 +45,18 @@ main(int argc, char **argv)
 
     SchemeConfig schemes[] = {
         SchemeConfig{SchemeKind::Pra, 0, 0, threshold,
-                     threshold <= 16384 ? 0.003 : 0.002, 8, 1, false},
+                     threshold <= 16384 ? 0.003 : 0.002, 8, 1, false,
+                     {}},
         SchemeConfig{SchemeKind::Sca, 64, 0, threshold, 0, 8, 1,
-                     false},
+                     false, {}},
         SchemeConfig{SchemeKind::Sca, 128, 0, threshold, 0, 8, 1,
-                     false},
+                     false, {}},
         SchemeConfig{SchemeKind::Prcat, 64, 11, threshold, 0, 8, 1,
-                     false},
+                     false, {}},
         SchemeConfig{SchemeKind::Drcat, 64, 11, threshold, 0, 8, 1,
-                     false},
+                     false, {}},
         SchemeConfig{SchemeKind::CounterCache, 2048, 0, threshold, 0,
-                     8, 1, false},
+                     8, 1, false, {}},
     };
 
     TextTable table({"scheme", "CMRPO", "dyn mW", "static mW",

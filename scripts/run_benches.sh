@@ -66,6 +66,13 @@ for bench in "${BUILD_DIR}"/bench/bench_*; do
     elapsed="$((end - start))"
 
     first_line="$(head -n1 "${log}" | json_escape)"
+    # Collect every "@@METRIC <name> <value>" line the bench printed
+    # into a JSON object, so per-figure result values (mean CMRPO/ETO
+    # per scheme) are tracked across PRs alongside wall time.
+    metrics="$(awk '/^@@METRIC /{
+        if (n++) printf ",\n";
+        printf "    \"%s\": %s", $2, $3
+    } END { if (n) printf "\n" }' "${log}")"
     cat > "${OUT_DIR}/BENCH_${name}.json" <<EOF
 {
   "bench": "${name}",
@@ -74,7 +81,9 @@ for bench in "${BUILD_DIR}"/bench/bench_*; do
   "wall_ms": ${elapsed},
   "exit_code": ${exit_code},
   "log": "${name}.log",
-  "title": "${first_line}"
+  "title": "${first_line}",
+  "metrics": {
+${metrics}  }
 }
 EOF
     echo "    ${elapsed} ms, exit ${exit_code}"

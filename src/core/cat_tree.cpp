@@ -27,6 +27,21 @@ log2u(std::uint64_t v)
     return l;
 }
 
+std::uint32_t
+ctz64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::uint32_t>(__builtin_ctzll(v));
+#else
+    std::uint32_t n = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
 } // namespace
 
 CatTree::CatTree(Params params) : params_(std::move(params))
@@ -50,8 +65,18 @@ CatTree::CatTree(Params params) : params_(std::move(params))
     if (params_.splitThresholds.back() != params_.refreshThreshold)
         CATSIM_FATAL("last split threshold must equal the refresh "
                      "threshold");
+    // A split threshold above T would let a group count past the
+    // refresh threshold without refreshing (the split branch only
+    // takes thr < T), silently weakening the protection; reject it
+    // here rather than letting custom schedules through.
+    for (const std::uint32_t t : params_.splitThresholds)
+        if (t > params_.refreshThreshold)
+            CATSIM_FATAL("split threshold ", t, " exceeds the refresh "
+                         "threshold ", params_.refreshThreshold);
 
     presplitDepth_ = log2u(M) - 1;
+    rowBits_ = log2u(params_.numRows);
+    jumpShift_ = rowBits_ - presplitDepth_;
     reset();
 }
 
@@ -59,12 +84,21 @@ void
 CatTree::reset()
 {
     const auto M = params_.numCounters;
-    inodes_.assign(M - 1, INode{});
+    slots_.assign(2 * (M - 1), 0);
+    quad_.assign(4 * (M - 1), 0);
     inodeParent_.assign(M - 1, kNone);
     inodeParentRight_.assign(M - 1, false);
     inodeInUse_.assign(M - 1, false);
+    inodeDepth_.assign(M - 1, 0);
+    inodeLo_.assign(M - 1, 0);
+    candWords_.assign((M - 1 + 63) / 64, 0);
     counts_.assign(M, 0);
-    weights_.assign(M, 0);
+    counterDepth_.assign(M, 0);
+    counterParent_.assign(M, kNone);
+    counterSide_.assign(M, 0);
+    weightStored_.assign(M, 0);
+    weightTouch_.assign(M, 0);
+    refreshOrdinal_ = 0;
     counterInUse_.assign(M, false);
     freeCounters_.clear();
     freeInodes_.clear();
@@ -78,7 +112,9 @@ CatTree::reset()
     activeCounters_ = 1;
     counterInUse_[0] = true;
 
-    presplit(kNone, false, 0, 0, presplitDepth_);
+    presplit(kNone, false, 0, 0, presplitDepth_, 0);
+    rebuildJumpTable();
+    updateCanGrow();
 }
 
 void
@@ -89,7 +125,8 @@ CatTree::resetCountsOnly()
 
 void
 CatTree::presplit(std::uint32_t parent, bool right, std::uint32_t counter,
-                  std::uint32_t depth, std::uint32_t target_depth)
+                  std::uint32_t depth, std::uint32_t target_depth,
+                  RowAddr lo)
 {
     if (depth >= target_depth)
         return;
@@ -97,11 +134,30 @@ CatTree::presplit(std::uint32_t parent, bool right, std::uint32_t counter,
     w.counter = counter;
     w.parent = parent;
     w.parentRight = right;
+    w.depth = depth;
+    w.lo = lo;
     const std::uint32_t nc = allocCounter();
     const std::uint32_t ni = allocInode();
     splitLeaf(w, nc, ni);
-    presplit(ni, false, counter, depth + 1, target_depth);
-    presplit(ni, true, nc, depth + 1, target_depth);
+    const RowAddr half = (params_.numRows >> depth) / 2;
+    presplit(ni, false, counter, depth + 1, target_depth, lo);
+    presplit(ni, true, nc, depth + 1, target_depth, lo + half);
+}
+
+void
+CatTree::rebuildJumpTable()
+{
+    const std::uint32_t entries = 1u << presplitDepth_;
+    jump_.assign(entries, 0);
+    for (std::uint32_t prefix = 0; prefix < entries; ++prefix) {
+        std::uint32_t cur = pack(rootPtr_, rootIsLeaf_);
+        for (std::uint32_t d = 0; d < presplitDepth_; ++d) {
+            const std::uint32_t s =
+                (prefix >> (presplitDepth_ - 1 - d)) & 1u;
+            cur = slots_[2 * slotNode(cur) + s];
+        }
+        jump_[prefix] = cur;
+    }
 }
 
 std::uint32_t
@@ -111,6 +167,7 @@ CatTree::allocCounter()
         CATSIM_PANIC("CAT counter free list exhausted");
     const std::uint32_t c = freeCounters_.back();
     freeCounters_.pop_back();
+    updateCanGrow();
     counterInUse_[c] = true;
     return c;
 }
@@ -122,6 +179,7 @@ CatTree::allocInode()
         CATSIM_PANIC("CAT intermediate-node free list exhausted");
     const std::uint32_t i = freeInodes_.back();
     freeInodes_.pop_back();
+    updateCanGrow();
     inodeInUse_[i] = true;
     return i;
 }
@@ -129,77 +187,96 @@ CatTree::allocInode()
 CatTree::Walk
 CatTree::walkTo(RowAddr row) const
 {
+    // leafSlotFor jumps straight to the node at the pre-split depth
+    // (the balanced lambda-level prefix is immutable, Section IV-C)
+    // and then descends TWO levels per load through the quad table;
+    // the two row-address bits at the current depth pick the entry,
+    // the slot's low bit says leaf.  An inode slot has low bit 0, so
+    // 2*cur is its own quad base.  When the left of the two levels
+    // already ends in a leaf the entry is absorbed (both b2 values
+    // hold the leaf), which is why the loop carries no depth/parent
+    // bookkeeping: those come from the per-leaf tables here.  The b2
+    // shift is masked so the final-level read (bitPos == 0) stays
+    // defined; it then selects between two identical absorbed entries.
+    return walkFromCounter(slotNode(leafSlotFor(row)), row);
+}
+
+CatTree::Walk
+CatTree::walkFromCounter(std::uint32_t counter, RowAddr row) const
+{
     Walk w;
-    w.lo = 0;
-    w.hi = params_.numRows - 1;
-    std::uint32_t ptr = rootPtr_;
-    bool leaf = rootIsLeaf_;
-    while (!leaf) {
-        const INode &nd = inodes_[ptr];
-        const RowAddr mid = w.lo + (w.hi - w.lo) / 2;
-        w.parent = ptr;
-        if (row > mid) {
-            w.parentRight = true;
-            w.lo = mid + 1;
-            ptr = nd.r;
-            leaf = nd.rleaf;
-        } else {
-            w.parentRight = false;
-            w.hi = mid;
-            ptr = nd.l;
-            leaf = nd.lleaf;
-        }
-        ++w.depth;
-    }
-    w.counter = ptr;
+    w.counter = counter;
+    w.depth = counterDepth_[counter];
+    w.parent = counterParent_[counter];
+    w.parentRight = counterSide_[counter] != 0;
+    const RowAddr span = params_.numRows >> w.depth;
+    w.lo = row & ~(span - 1);
+    w.hi = w.lo + span - 1;
     return w;
 }
 
-bool
-CatTree::canSplit(const Walk &w) const
+void
+CatTree::setChildSlot(std::uint32_t inode, bool right,
+                      std::uint32_t slot)
 {
-    return w.depth + 1 < params_.maxLevels && w.lo < w.hi
-           && !freeCounters_.empty() && !freeInodes_.empty();
+    slots_[2 * inode + right] = slot;
+    // Mirror into this node's own quad half...
+    const std::uint32_t base = 4 * inode + 2 * right;
+    if (isLeafSlot(slot)) {
+        quad_[base] = slot;
+        quad_[base + 1] = slot;
+    } else {
+        quad_[base] = slots_[2 * slotNode(slot)];
+        quad_[base + 1] = slots_[2 * slotNode(slot) + 1];
+    }
+    // ...and into the parent entry that routes through this node.
+    const std::uint32_t up = inodeParent_[inode];
+    if (up != kNone)
+        quad_[4 * up + 2 * inodeParentRight_[inode] + right] = slot;
 }
 
 void
 CatTree::splitLeaf(const Walk &w, std::uint32_t new_counter,
                    std::uint32_t new_inode)
 {
-    INode &nd = inodes_[new_inode];
-    nd.l = w.counter;
-    nd.r = new_counter;
-    nd.lleaf = true;
-    nd.rleaf = true;
     inodeParent_[new_inode] = w.parent;
     inodeParentRight_[new_inode] = w.parentRight;
+    inodeDepth_[new_inode] = w.depth;
+    inodeLo_[new_inode] = w.lo;
+    setChildSlot(new_inode, false, pack(w.counter, true));
+    setChildSlot(new_inode, true, pack(new_counter, true));
+    counterDepth_[w.counter] = w.depth + 1;
+    counterParent_[w.counter] = new_inode;
+    counterSide_[w.counter] = 0;
+    counterDepth_[new_counter] = w.depth + 1;
+    counterParent_[new_counter] = new_inode;
+    counterSide_[new_counter] = 1;
 
     // Clone the count: both halves inherit the parent's history, which
     // keeps the scheme conservative (no victim can be undercounted).
     counts_[new_counter] = counts_[w.counter];
-    weights_[new_counter] = weights_[w.counter];
+    weightStored_[new_counter] = weightStored_[w.counter];
+    weightTouch_[new_counter] = weightTouch_[w.counter];
 
     if (w.parent == kNone) {
         rootPtr_ = new_inode;
         rootIsLeaf_ = false;
     } else {
-        INode &p = inodes_[w.parent];
-        if (w.parentRight) {
-            p.r = new_inode;
-            p.rleaf = false;
-        } else {
-            p.l = new_inode;
-            p.lleaf = false;
-        }
+        setChildSlot(w.parent, w.parentRight, pack(new_inode, false));
+        candClear(w.parent);
+    }
+    if (w.depth >= presplitDepth_) {
+        candSet(new_inode);
+        // A node at exactly the pre-split depth is a jump-table entry.
+        if (w.depth == presplitDepth_)
+            jump_[w.lo >> jumpShift_] = pack(new_inode, false);
     }
     ++activeCounters_;
 }
 
 std::uint32_t
-CatTree::thresholdAt(std::uint32_t depth, RowAddr lo, RowAddr hi) const
+CatTree::thresholdAt(std::uint32_t depth) const
 {
-    (void)lo;
-    (void)hi;
     return params_.splitThresholds[std::min<std::size_t>(
         depth, params_.splitThresholds.size() - 1)];
 }
@@ -210,24 +287,31 @@ CatTree::access(RowAddr row)
     if (row >= params_.numRows)
         CATSIM_PANIC("row ", row, " out of range");
 
-    const Walk w = walkTo(row);
+    // Fast path: resolve the counter and its depth only; the full Walk
+    // (parent link, covered range) is materialized from the per-leaf
+    // tables below, and only when a split or refresh actually needs it.
+    const std::uint32_t counter = slotNode(leafSlotFor(row));
+    const std::uint32_t depth = counterDepth_[counter];
     AccessResult res;
-    res.leafDepth = w.depth;
-    // Pointer chasing starts at the pre-split jump level; the counter
-    // itself costs a read and a write (Section IV-C).
-    const std::uint32_t hops =
-        w.depth > presplitDepth_ ? w.depth - presplitDepth_ : 0;
-    res.sramAccesses = hops + 2;
+    res.leafDepth = depth;
+    // The jump replaces the pre-split levels; the remaining descent
+    // costs one access per level, the counter a read and a write
+    // (Section IV-C).
+    res.sramAccesses = (depth - presplitDepth_) + 2;
 
-    const bool splittable = canSplit(w);
+    // depth < rowBits_ <=> the group spans more than one row.
+    const bool splittable =
+        depth + 1 < params_.maxLevels && depth < rowBits_ && canGrow_;
     const std::uint32_t thr = splittable
-        ? thresholdAt(w.depth, w.lo, w.hi)
+        ? thresholdAt(depth)
         : params_.refreshThreshold;
 
-    if (counts_[w.counter] < thr) {
-        ++counts_[w.counter];
+    if (counts_[counter] < thr) {
+        ++counts_[counter];
         return res;
     }
+
+    const Walk w = walkFromCounter(counter, row);
 
     if (splittable && thr < params_.refreshThreshold) {
         const std::uint32_t nc = allocCounter();
@@ -252,29 +336,19 @@ CatTree::access(RowAddr row)
     res.rowsRefreshed = static_cast<Count>(hi - lo + 1);
 
     if (params_.enableWeights) {
-        std::uint8_t &hotW = weights_[w.counter];
+        // Architecturally every other in-use counter's weight drops by
+        // one here; the lazy scheme does it by advancing the global
+        // ordinal instead (the hot counter escapes the decrement by
+        // being restamped above the bump).
+        std::uint32_t hotW = materializedWeight(w.counter);
         if (hotW < 3)
             ++hotW;
-        for (std::uint32_t c = 0; c < params_.numCounters; ++c) {
-            if (c != w.counter && counterInUse_[c] && weights_[c] > 0)
-                --weights_[c];
-        }
+        ++refreshOrdinal_;
+        setWeight(w.counter, static_cast<std::uint8_t>(hotW));
         if (hotW == 3)
             res.didReconfigure = tryReconfigure(w);
     }
     return res;
-}
-
-std::uint32_t
-CatTree::inodeDepth(std::uint32_t inode) const
-{
-    std::uint32_t d = 0;
-    std::uint32_t p = inodeParent_[inode];
-    while (p != kNone) {
-        ++d;
-        p = inodeParent_[p];
-    }
-    return d;
 }
 
 bool
@@ -284,20 +358,27 @@ CatTree::tryReconfigure(const Walk &hot)
     if (hot.depth + 1 >= params_.maxLevels || hot.lo >= hot.hi)
         return false;
 
-    // Step 1 (Fig 7): find an intermediate node whose children are both
-    // cold leaf counters (weight zero).  Nodes above the pre-split
-    // level are never merged: the lambda-level balanced prefix is what
-    // allows direct SRAM indexing (Section IV-C), and keeping it also
-    // bounds the largest group a merge can create.
+    // Step 1 (Fig 7): find an intermediate node whose children are
+    // both cold leaf counters (weight zero).  The candidate bitset
+    // already encodes "both children are leaves, at or below the
+    // pre-split level" - nodes above it are never merged, since the
+    // lambda-level balanced prefix is what allows direct SRAM indexing
+    // (Section IV-C) - so only the weight check runs here, lowest
+    // index first to match the historical scan order.
     std::uint32_t cand = kNone;
-    for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
-        if (!inodeInUse_[i])
-            continue;
-        const INode &nd = inodes_[i];
-        if (nd.lleaf && nd.rleaf && weights_[nd.l] == 0
-            && weights_[nd.r] == 0 && inodeDepth(i) >= presplitDepth_) {
-            cand = i;
-            break;
+    for (std::size_t wi = 0; wi < candWords_.size() && cand == kNone;
+         ++wi) {
+        std::uint64_t word = candWords_[wi];
+        while (word) {
+            const std::uint32_t i =
+                static_cast<std::uint32_t>(wi * 64) + ctz64(word);
+            if (materializedWeight(slotNode(slots_[2 * i])) == 0
+                && materializedWeight(slotNode(slots_[2 * i + 1]))
+                       == 0) {
+                cand = i;
+                break;
+            }
+            word &= word - 1;
         }
     }
     if (cand == kNone)
@@ -305,11 +386,11 @@ CatTree::tryReconfigure(const Walk &hot)
 
     // Merge: keep the child with the larger count so the merged group
     // can never undercount, free the other counter and the node.
-    const INode nd = inodes_[cand];
-    const std::uint32_t keep =
-        counts_[nd.l] >= counts_[nd.r] ? nd.l : nd.r;
-    const std::uint32_t drop = keep == nd.l ? nd.r : nd.l;
-    counts_[keep] = std::max(counts_[nd.l], counts_[nd.r]);
+    const std::uint32_t l = slotNode(slots_[2 * cand]);
+    const std::uint32_t r = slotNode(slots_[2 * cand + 1]);
+    const std::uint32_t keep = counts_[l] >= counts_[r] ? l : r;
+    const std::uint32_t drop = keep == l ? r : l;
+    counts_[keep] = std::max(counts_[l], counts_[r]);
 
     const std::uint32_t parent = inodeParent_[cand];
     const bool side = inodeParentRight_[cand];
@@ -317,21 +398,25 @@ CatTree::tryReconfigure(const Walk &hot)
         rootPtr_ = keep;
         rootIsLeaf_ = true;
     } else {
-        INode &p = inodes_[parent];
-        if (side) {
-            p.r = keep;
-            p.rleaf = true;
-        } else {
-            p.l = keep;
-            p.lleaf = true;
-        }
+        setChildSlot(parent, side, pack(keep, true));
+        if (isLeafSlot(slots_[2 * parent])
+            && isLeafSlot(slots_[2 * parent + 1])
+            && inodeDepth_[parent] >= presplitDepth_)
+            candSet(parent);
     }
+    counterDepth_[keep] = inodeDepth_[cand];
+    counterParent_[keep] = parent;
+    counterSide_[keep] = side;
+    if (inodeDepth_[cand] == presplitDepth_)
+        jump_[inodeLo_[cand] >> jumpShift_] = pack(keep, true);
+    candClear(cand);
     inodeInUse_[cand] = false;
     freeInodes_.push_back(cand);
     counterInUse_[drop] = false;
-    weights_[drop] = 0;
+    setWeight(drop, 0);
     counts_[drop] = 0;
     freeCounters_.push_back(drop);
+    updateCanGrow();
     --activeCounters_;
     ++merges_;
 
@@ -345,8 +430,8 @@ CatTree::tryReconfigure(const Walk &hot)
 
     // Step 3: newly split counters keep weight 1 so they are neither
     // immediately re-split nor immediately merged back.
-    weights_[hot.counter] = 1;
-    weights_[nc] = 1;
+    setWeight(hot.counter, 1);
+    setWeight(nc, 1);
     return true;
 }
 
@@ -372,39 +457,38 @@ CatTree::leafRange(RowAddr row) const
 std::uint32_t
 CatTree::leafWeight(RowAddr row) const
 {
-    return weights_[walkTo(row).counter];
+    return materializedWeight(walkTo(row).counter);
 }
 
 std::uint32_t
 CatTree::maxLeafDepth() const
 {
     std::uint32_t best = 0;
-    // Iterative DFS over (ptr, leaf?, depth).
+    // Iterative DFS over packed (slot, depth).
     struct Item
     {
-        std::uint32_t ptr;
-        bool leaf;
+        std::uint32_t slot;
         std::uint32_t depth;
     };
-    std::vector<Item> stack{{rootPtr_, rootIsLeaf_, 0}};
+    std::vector<Item> stack{{pack(rootPtr_, rootIsLeaf_), 0}};
     while (!stack.empty()) {
         const Item it = stack.back();
         stack.pop_back();
-        if (it.leaf) {
+        if (isLeafSlot(it.slot)) {
             best = std::max(best, it.depth);
             continue;
         }
-        const INode &nd = inodes_[it.ptr];
-        stack.push_back({nd.l, nd.lleaf, it.depth + 1});
-        stack.push_back({nd.r, nd.rleaf, it.depth + 1});
+        const std::uint32_t nd = slotNode(it.slot);
+        stack.push_back({slots_[2 * nd], it.depth + 1});
+        stack.push_back({slots_[2 * nd + 1], it.depth + 1});
     }
     return best;
 }
 
 bool
-CatTree::walkInvariants(std::uint32_t ptr, bool is_leaf, RowAddr lo,
-                        RowAddr hi, std::uint32_t depth,
-                        std::vector<bool> &seen_counters,
+CatTree::walkInvariants(std::uint32_t slot, RowAddr lo, RowAddr hi,
+                        std::uint32_t depth, std::uint32_t parent,
+                        bool right, std::vector<bool> &seen_counters,
                         std::vector<bool> &seen_inodes,
                         std::string *why) const
 {
@@ -419,24 +503,35 @@ CatTree::walkInvariants(std::uint32_t ptr, bool is_leaf, RowAddr lo,
     if (lo > hi)
         return fail("empty row range");
 
-    if (is_leaf) {
+    if (isLeafSlot(slot)) {
+        const std::uint32_t ptr = slotNode(slot);
         if (ptr >= params_.numCounters)
             return fail("leaf pointer out of range");
+        if (depth < presplitDepth_)
+            return fail("leaf above the pre-split level");
         if (seen_counters[ptr])
             return fail("counter reached twice");
         if (!counterInUse_[ptr])
             return fail("leaf references a free counter");
         seen_counters[ptr] = true;
+        if (counterDepth_[ptr] != depth)
+            return fail("stored leaf depth disagrees with the tree");
+        if (counterParent_[ptr] != parent
+            || (counterSide_[ptr] != 0) != right)
+            return fail("stored leaf parent disagrees with the tree");
         if (counts_[ptr] > params_.refreshThreshold)
             return fail("count exceeds refresh threshold");
-        if (weights_[ptr] > 3)
-            return fail("weight exceeds 2-bit range");
-        if (!params_.enableWeights && weights_[ptr] != 0)
+        if (weightStored_[ptr] > 3)
+            return fail("stored weight exceeds 2-bit range");
+        if (weightTouch_[ptr] > refreshOrdinal_)
+            return fail("weight stamped after the current ordinal");
+        if (!params_.enableWeights && materializedWeight(ptr) != 0)
             return fail("weights used without DRCAT mode");
         return true;
     }
 
-    if (ptr >= inodes_.size())
+    const std::uint32_t ptr = slotNode(slot);
+    if (ptr + 1 >= params_.numCounters)
         return fail("inode pointer out of range");
     if (seen_inodes[ptr])
         return fail("inode reached twice");
@@ -444,19 +539,41 @@ CatTree::walkInvariants(std::uint32_t ptr, bool is_leaf, RowAddr lo,
         return fail("tree references a free inode");
     seen_inodes[ptr] = true;
 
-    const INode &nd = inodes_[ptr];
-    if (!nd.lleaf) {
-        if (inodeParent_[nd.l] != ptr || inodeParentRight_[nd.l])
-            return fail("left child parent link broken");
+    if (inodeDepth_[ptr] != depth)
+        return fail("stored inode depth disagrees with the tree");
+    if (inodeLo_[ptr] != lo)
+        return fail("stored inode range disagrees with the tree");
+    if (inodeParent_[ptr] != parent
+        || (parent != kNone
+            && static_cast<bool>(inodeParentRight_[ptr]) != right))
+        return fail("inode parent link disagrees with the tree");
+
+    const std::uint32_t ls = slots_[2 * ptr];
+    const std::uint32_t rs = slots_[2 * ptr + 1];
+    // The quad half behind each child must match: absorbed copies of a
+    // leaf child, or the child inode's own slots.
+    for (int b = 0; b < 2; ++b) {
+        const std::uint32_t child = b ? rs : ls;
+        const std::uint32_t q0 = quad_[4 * ptr + 2 * b];
+        const std::uint32_t q1 = quad_[4 * ptr + 2 * b + 1];
+        if (isLeafSlot(child)) {
+            if (q0 != child || q1 != child)
+                return fail("quad entry not absorbed at a leaf child");
+        } else {
+            if (q0 != slots_[2 * slotNode(child)]
+                || q1 != slots_[2 * slotNode(child) + 1])
+                return fail("quad entry disagrees with grandchild");
+        }
     }
-    if (!nd.rleaf) {
-        if (inodeParent_[nd.r] != ptr || !inodeParentRight_[nd.r])
-            return fail("right child parent link broken");
-    }
+    const bool structuralCand = isLeafSlot(ls) && isLeafSlot(rs)
+                                && depth >= presplitDepth_;
+    if (candGet(ptr) != structuralCand)
+        return fail("merge-candidate bit disagrees with the tree");
+
     const RowAddr mid = lo + (hi - lo) / 2;
-    return walkInvariants(nd.l, nd.lleaf, lo, mid, depth + 1,
+    return walkInvariants(ls, lo, mid, depth + 1, ptr, false,
                           seen_counters, seen_inodes, why)
-           && walkInvariants(nd.r, nd.rleaf, mid + 1, hi, depth + 1,
+           && walkInvariants(rs, mid + 1, hi, depth + 1, ptr, true,
                              seen_counters, seen_inodes, why);
 }
 
@@ -469,11 +586,13 @@ CatTree::checkInvariants(std::string *why) const
         return false;
     };
 
+    const std::uint32_t numInodes = params_.numCounters - 1;
     std::vector<bool> seenCounters(params_.numCounters, false);
-    std::vector<bool> seenInodes(inodes_.size(), false);
+    std::vector<bool> seenInodes(numInodes, false);
     if (!rootIsLeaf_ && inodeParent_[rootPtr_] != kNone)
         return fail("root has a parent link");
-    if (!walkInvariants(rootPtr_, rootIsLeaf_, 0, params_.numRows - 1, 0,
+    if (!walkInvariants(pack(rootPtr_, rootIsLeaf_), 0,
+                        params_.numRows - 1, 0, kNone, false,
                         seenCounters, seenInodes, why))
         return false;
 
@@ -490,16 +609,33 @@ CatTree::checkInvariants(std::string *why) const
         return fail("counter free list inconsistent");
 
     std::uint32_t used = 0;
-    for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    for (std::uint32_t i = 0; i < numInodes; ++i) {
         if (seenInodes[i] != inodeInUse_[i])
             return fail("inodeInUse inconsistent with tree");
+        if (!seenInodes[i] && candGet(i))
+            return fail("free inode still flagged as merge candidate");
         if (seenInodes[i])
             ++used;
     }
-    if (used + freeInodes_.size() != inodes_.size())
+    if (used + freeInodes_.size() != numInodes)
         return fail("inode free list inconsistent");
     if (used != leaves - 1 && !(rootIsLeaf_ && used == 0))
         return fail("binary tree shape violated (inodes != leaves-1)");
+
+    // The jump table must match a from-the-root walk for every prefix.
+    const std::uint32_t entries = 1u << presplitDepth_;
+    for (std::uint32_t prefix = 0; prefix < entries; ++prefix) {
+        std::uint32_t cur = pack(rootPtr_, rootIsLeaf_);
+        for (std::uint32_t d = 0; d < presplitDepth_; ++d) {
+            if (isLeafSlot(cur))
+                return fail("pre-split prefix broken by a merge");
+            const std::uint32_t s =
+                (prefix >> (presplitDepth_ - 1 - d)) & 1u;
+            cur = slots_[2 * slotNode(cur) + s];
+        }
+        if (jump_[prefix] != cur)
+            return fail("jump table disagrees with the tree");
+    }
     return true;
 }
 

@@ -3,28 +3,39 @@
  * The Counter-based Adaptive Tree (paper Section IV).
  *
  * The tree partitions a bank's N rows into variable-size groups, one
- * active counter per group.  It is stored SRAM-style (paper Fig 5): an
- * array I of at most M-1 intermediate nodes, each holding left/right
- * pointers plus leaf flags, and an array C of M counters.  A row
- * address is located by chasing pointers from the root; the address bit
- * at each depth selects the child.
+ * active counter per group.  Growth (Algorithm 1): when a leaf counter
+ * at depth d reaches the split threshold T_d, a free counter is cloned
+ * from it and the group halves; at depth L-1 (or when no counter is
+ * free) the threshold is the refresh threshold T, and reaching it
+ * refreshes every row in the group plus the two rows adjacent to the
+ * group, then resets the counter.
  *
- * Growth (Algorithm 1): when a leaf counter at depth d reaches the
- * split threshold T_d, a free counter is cloned from it and the group
- * halves; at depth L-1 (or when no counter is free) the threshold is
- * the refresh threshold T, and reaching it refreshes every row in the
- * group plus the two rows adjacent to the group, then resets the
- * counter.
- *
- * The tree starts from a balanced "pre-split" shape with lambda =
- * log2(M) levels (M/2 active counters at depth log2(M)-1), which also
- * bounds pointer chasing to L - log2(M/4) SRAM accesses per activation
- * (Section IV-C).
+ * Storage is a flattened structure-of-arrays layout built around the
+ * invariant the paper's SRAM sizing relies on (Section IV-C): the
+ * balanced pre-split prefix of lambda = log2(M) levels is never merged
+ * away, so every node at depth lambda-1 can be *indexed directly* from
+ * the top lambda-1 row-address bits.  `walkTo` jumps straight to that
+ * node through a 2^(lambda-1)-entry jump table and then descends with
+ * a branchless child select: each intermediate node owns two packed
+ * child slots `(index << 1) | is_leaf`, and the row-address bit at the
+ * current depth picks the slot - one array load per level, no pointer
+ * chasing, no per-level branch.  This mirrors the hardware's
+ * direct-indexed SRAM rows and is what `sramAccesses` counts.
  *
  * DRCAT support (Section V-B): a 2-bit weight per counter tracks how
- * often its group triggers refreshes.  When a counter's weight
- * saturates, a cold pair of sibling leaves (both weights zero) is
- * merged and the freed counter splits the hot leaf (Fig 7).
+ * often its group triggers refreshes.  The architectural rule is "every
+ * refresh increments the hot counter's weight (saturating at 3) and
+ * decrements everyone else's (floored at 0)"; instead of an O(M) sweep
+ * per refresh the tree keeps one global refresh ordinal and a
+ * last-touch stamp per counter, and materializes
+ * `max(0, stored - (ordinal - touch))` on read - exact and O(1),
+ * because a counter is only *not* decremented by the refreshes it
+ * triggered itself, which are exactly the ones that restamp it.  When
+ * a weight saturates, a cold pair of sibling leaves (both weights
+ * zero) is merged and the freed counter splits the hot leaf (Fig 7);
+ * merge candidates come from a maintained bitset of "both children
+ * are leaves, at or below the pre-split level" nodes plus a stored
+ * per-node depth, not a full-tree scan.
  */
 
 #ifndef CATSIM_CORE_CAT_TREE_HPP
@@ -103,8 +114,11 @@ class CatTree
 
     /**
      * Validate structural invariants: leaves partition [0, N-1], active
-     * counter count matches the tree, no depth exceeds L-1, counts stay
-     * below/at their thresholds, free lists are consistent.
+     * counter count matches the tree, no depth exceeds L-1, no leaf
+     * sits above the pre-split level, counts stay below/at their
+     * thresholds, free lists are consistent, and the derived hot-path
+     * indexes (jump table, per-node depths/ranges, merge-candidate
+     * bitset) agree with the tree.
      *
      * @param why Optional out-parameter describing the first violation.
      * @retval true when all invariants hold.
@@ -118,14 +132,6 @@ class CatTree
   private:
     static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
-    struct INode
-    {
-        std::uint32_t l = kNone;
-        std::uint32_t r = kNone;
-        bool lleaf = true;
-        bool rleaf = true;
-    };
-
     /** Traversal bookkeeping for the leaf covering a row. */
     struct Walk
     {
@@ -137,37 +143,139 @@ class CatTree
         bool parentRight = false;     //!< which child slot we came from
     };
 
+    /** Child slot encoding: node index in the high bits, leaf flag in
+     *  bit 0, so the walk needs a single load per level. */
+    static std::uint32_t pack(std::uint32_t node, bool leaf)
+    {
+        return (node << 1) | static_cast<std::uint32_t>(leaf);
+    }
+    static bool isLeafSlot(std::uint32_t slot) { return slot & 1u; }
+    static std::uint32_t slotNode(std::uint32_t slot)
+    {
+        return slot >> 1;
+    }
+
+    /** Chase quad entries from the jump node to the covering leaf's
+     *  packed slot - the only data-dependent part of a lookup. */
+    std::uint32_t leafSlotFor(RowAddr row) const
+    {
+        const std::uint32_t *quad = quad_.data();
+        std::uint32_t cur = jump_[row >> jumpShift_];
+        std::uint32_t bitPos = jumpShift_ - 1;
+        while (!isLeafSlot(cur)) {
+            const std::uint32_t b1 = (row >> bitPos) & 1u;
+            const std::uint32_t b2 =
+                (row >> ((bitPos - 1) & 31u)) & 1u;
+            cur = quad[2 * cur + 2 * b1 + b2];
+            bitPos -= 2;
+        }
+        return cur;
+    }
+
     Walk walkTo(RowAddr row) const;
-    std::uint32_t thresholdAt(std::uint32_t depth, RowAddr lo,
-                              RowAddr hi) const;
-    bool canSplit(const Walk &w) const;
+    Walk walkFromCounter(std::uint32_t counter, RowAddr row) const;
+    void setChildSlot(std::uint32_t inode, bool right,
+                      std::uint32_t slot);
+    void updateCanGrow()
+    {
+        canGrow_ = !freeCounters_.empty() && !freeInodes_.empty();
+    }
+    std::uint32_t thresholdAt(std::uint32_t depth) const;
     void splitLeaf(const Walk &w, std::uint32_t new_counter,
                    std::uint32_t new_inode);
     std::uint32_t allocCounter();
     std::uint32_t allocInode();
     bool tryReconfigure(const Walk &hot);
-    std::uint32_t inodeDepth(std::uint32_t inode) const;
     void presplit(std::uint32_t parent, bool right, std::uint32_t counter,
-                  std::uint32_t depth, std::uint32_t target_depth);
-    bool walkInvariants(std::uint32_t ptr, bool is_leaf, RowAddr lo,
-                        RowAddr hi, std::uint32_t depth,
-                        std::vector<bool> &seen_counters,
+                  std::uint32_t depth, std::uint32_t target_depth,
+                  RowAddr lo);
+    void rebuildJumpTable();
+    bool walkInvariants(std::uint32_t slot, RowAddr lo, RowAddr hi,
+                        std::uint32_t depth, std::uint32_t parent,
+                        bool right, std::vector<bool> &seen_counters,
                         std::vector<bool> &seen_inodes,
                         std::string *why) const;
 
+    /** Weight of @p c under the lazy decay (see file comment). */
+    std::uint32_t materializedWeight(std::uint32_t c) const
+    {
+        const std::uint64_t elapsed =
+            refreshOrdinal_ - weightTouch_[c];
+        const std::uint32_t stored = weightStored_[c];
+        return elapsed >= stored
+            ? 0u
+            : stored - static_cast<std::uint32_t>(elapsed);
+    }
+
+    /** Store an absolute weight for @p c as of the current ordinal. */
+    void setWeight(std::uint32_t c, std::uint8_t w)
+    {
+        weightStored_[c] = w;
+        weightTouch_[c] = refreshOrdinal_;
+    }
+
+    bool candGet(std::uint32_t inode) const
+    {
+        return (candWords_[inode >> 6] >> (inode & 63)) & 1u;
+    }
+    void candSet(std::uint32_t inode)
+    {
+        candWords_[inode >> 6] |= std::uint64_t{1} << (inode & 63);
+    }
+    void candClear(std::uint32_t inode)
+    {
+        candWords_[inode >> 6] &= ~(std::uint64_t{1} << (inode & 63));
+    }
+
     Params params_;
     std::uint32_t presplitDepth_;   //!< depth of initial leaves
-    std::vector<INode> inodes_;
+    std::uint32_t rowBits_;         //!< log2(numRows)
+
+    // Flattened tree: two packed child slots per intermediate node,
+    // plus SoA side tables (parent link, depth, covered range start)
+    // kept in sync by split/merge so nothing is ever recomputed by
+    // chasing pointers.
+    std::vector<std::uint32_t> slots_;           //!< 2 per inode
+    /**
+     * Grandchild acceleration: quad_[4i + 2*b1 + b2] is the slot
+     * reached from inode i by descending (b1, b2) - two levels per
+     * load in the walk.  A leaf child absorbs: both of its b2 entries
+     * hold the leaf slot itself.  Kept in sync by setChildSlot (every
+     * slot write mirrors into the node's own quad half and into its
+     * parent's entry that routes through it).
+     */
+    std::vector<std::uint32_t> quad_;
     std::vector<std::uint32_t> inodeParent_;     //!< kNone for root
     std::vector<bool> inodeParentRight_;
     std::vector<bool> inodeInUse_;
+    std::vector<std::uint32_t> inodeDepth_;
+    std::vector<RowAddr> inodeLo_;
+    /** Merge-candidate bitset: in-use nodes at depth >= pre-split with
+     *  two leaf children (weights are checked at merge time). */
+    std::vector<std::uint64_t> candWords_;
+
+    // Implicit pre-split index: the node at depth presplitDepth_
+    // covering each top-bits prefix, as a packed slot.
+    std::vector<std::uint32_t> jump_;
+    std::uint32_t jumpShift_ = 0;
+
     std::vector<std::uint32_t> counts_;
-    std::vector<std::uint8_t> weights_;
+    // Per-leaf position tables: the walk reads depth/parent/side here
+    // instead of tracking them level by level (quad steps can overrun
+    // the consumed-bit count at an absorbed leaf, so they could not be
+    // derived from the walk anyway).
+    std::vector<std::uint32_t> counterDepth_;
+    std::vector<std::uint32_t> counterParent_;   //!< kNone for root
+    std::vector<std::uint8_t> counterSide_;
+    std::vector<std::uint8_t> weightStored_;
+    std::vector<std::uint64_t> weightTouch_;
+    std::uint64_t refreshOrdinal_ = 0;  //!< weighted refreshes so far
     std::vector<bool> counterInUse_;
     std::vector<std::uint32_t> freeCounters_;    //!< stack
     std::vector<std::uint32_t> freeInodes_;      //!< stack
     std::uint32_t rootPtr_ = 0;
     bool rootIsLeaf_ = true;
+    bool canGrow_ = false;  //!< both free lists non-empty
     std::uint32_t activeCounters_ = 1;
     Count splits_ = 0;
     Count merges_ = 0;

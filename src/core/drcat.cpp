@@ -4,8 +4,10 @@ namespace catsim
 {
 
 Drcat::Drcat(RowAddr num_rows, std::uint32_t num_counters,
-             std::uint32_t max_levels, std::uint32_t threshold)
-    : Prcat(num_rows, num_counters, max_levels, threshold, true)
+             std::uint32_t max_levels, std::uint32_t threshold,
+             std::vector<std::uint32_t> split_thresholds)
+    : Prcat(num_rows, num_counters, max_levels, threshold, true,
+            std::move(split_thresholds))
 {
 }
 

@@ -81,11 +81,13 @@ makeScheme(const SchemeConfig &config, RowAddr num_rows)
       case SchemeKind::Prcat:
         return std::make_unique<Prcat>(num_rows, config.numCounters,
                                        config.maxLevels,
-                                       config.threshold);
+                                       config.threshold,
+                                       config.splitThresholds);
       case SchemeKind::Drcat:
         return std::make_unique<Drcat>(num_rows, config.numCounters,
                                        config.maxLevels,
-                                       config.threshold);
+                                       config.threshold,
+                                       config.splitThresholds);
       case SchemeKind::CounterCache:
         return std::make_unique<CounterCache>(num_rows,
                                               config.numCounters,

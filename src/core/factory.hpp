@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/mitigation.hpp"
 
@@ -37,6 +38,13 @@ struct SchemeConfig
     std::uint32_t cacheWays = 8;     //!< counter-cache associativity
     std::uint64_t seed = 1;          //!< PRNG seed (PRA only)
     bool lfsrPrng = false;           //!< use the cheap LFSR for PRA
+    /**
+     * Custom CAT split-threshold schedule (size maxLevels, last entry
+     * == threshold); empty selects the paper's Section IV-D schedule.
+     * Used by ablation studies; ExperimentRunner co-scales a custom
+     * schedule with the refresh threshold.
+     */
+    std::vector<std::uint32_t> splitThresholds;
 
     /** Human-readable label, e.g. "DRCAT_64". */
     std::string label() const;

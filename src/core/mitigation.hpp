@@ -13,6 +13,7 @@
 #ifndef CATSIM_CORE_MITIGATION_HPP
 #define CATSIM_CORE_MITIGATION_HPP
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hpp"
@@ -68,6 +69,24 @@ class MitigationScheme
      * order (rowCount == 0 when nothing is to be done).
      */
     virtual RefreshAction onActivate(RowAddr row) = 0;
+
+    /**
+     * Observe a contiguous batch of activations (no epoch markers).
+     *
+     * Semantically identical to calling onActivate once per row; the
+     * per-row refresh actions are applied to the scheme's own stats
+     * and not returned, so this is for replay-style callers that only
+     * read stats() afterwards.  The default forwards to onActivate;
+     * schemes with a hot per-activation path (the CAT family)
+     * override it to hoist the virtual dispatch and per-call stats
+     * bookkeeping out of the inner loop.
+     */
+    virtual void
+    onActivateBatch(const RowAddr *rows, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            onActivate(rows[i]);
+    }
 
     /**
      * Auto-refresh epoch boundary (every 64 ms).  Retention refresh

@@ -8,31 +8,36 @@ namespace catsim
 CatTree::Params
 Prcat::makeParams(RowAddr num_rows, std::uint32_t num_counters,
                   std::uint32_t max_levels, std::uint32_t threshold,
-                  bool enable_weights)
+                  bool enable_weights,
+                  std::vector<std::uint32_t> split_thresholds)
 {
     CatTree::Params p;
     p.numRows = num_rows;
     p.numCounters = num_counters;
     p.maxLevels = max_levels;
     p.refreshThreshold = threshold;
-    p.splitThresholds =
-        computeSplitThresholds(num_counters, max_levels, threshold);
+    p.splitThresholds = split_thresholds.empty()
+        ? computeSplitThresholds(num_counters, max_levels, threshold)
+        : std::move(split_thresholds);
     p.enableWeights = enable_weights;
     return p;
 }
 
 Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
-             std::uint32_t max_levels, std::uint32_t threshold)
-    : Prcat(num_rows, num_counters, max_levels, threshold, false)
+             std::uint32_t max_levels, std::uint32_t threshold,
+             std::vector<std::uint32_t> split_thresholds)
+    : Prcat(num_rows, num_counters, max_levels, threshold, false,
+            std::move(split_thresholds))
 {
 }
 
 Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
              std::uint32_t max_levels, std::uint32_t threshold,
-             bool enable_weights)
+             bool enable_weights,
+             std::vector<std::uint32_t> split_thresholds)
     : MitigationScheme(num_rows),
       tree_(makeParams(num_rows, num_counters, max_levels, threshold,
-                       enable_weights))
+                       enable_weights, std::move(split_thresholds)))
 {
 }
 
@@ -56,6 +61,35 @@ Prcat::onActivate(RowAddr row)
     ++stats_.refreshEvents;
     stats_.victimRowsRefreshed += act.rowCount;
     return act;
+}
+
+void
+Prcat::onActivateBatch(const RowAddr *rows, std::size_t count)
+{
+    // Same arithmetic as onActivate, but one virtual call per chunk
+    // and the SchemeStats folded in once: the whole batch runs on
+    // local accumulators next to the tree walk.
+    Count sram = 0;
+    Count splits = 0;
+    Count merges = 0;
+    Count events = 0;
+    Count victims = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto r = tree_.access(rows[i]);
+        sram += r.sramAccesses;
+        splits += r.didSplit;
+        merges += r.didReconfigure;
+        if (r.refreshed) {
+            ++events;
+            victims += r.rowsRefreshed;
+        }
+    }
+    stats_.activations += count;
+    stats_.sramAccesses += sram;
+    stats_.splits += splits;
+    stats_.merges += merges;
+    stats_.refreshEvents += events;
+    stats_.victimRowsRefreshed += victims;
 }
 
 void

@@ -25,11 +25,16 @@ class Prcat : public MitigationScheme
      * @param num_counters Counters per bank (M, power of two).
      * @param max_levels  Maximum tree levels (L).
      * @param threshold   Refresh threshold (T).
+     * @param split_thresholds Custom per-depth split schedule (size L,
+     *        last == T); empty selects the paper's Section IV-D one.
      */
     Prcat(RowAddr num_rows, std::uint32_t num_counters,
-          std::uint32_t max_levels, std::uint32_t threshold);
+          std::uint32_t max_levels, std::uint32_t threshold,
+          std::vector<std::uint32_t> split_thresholds = {});
 
     RefreshAction onActivate(RowAddr row) override;
+    void onActivateBatch(const RowAddr *rows,
+                         std::size_t count) override;
     void onEpoch() override;
     std::string name() const override;
 
@@ -38,16 +43,17 @@ class Prcat : public MitigationScheme
   protected:
     Prcat(RowAddr num_rows, std::uint32_t num_counters,
           std::uint32_t max_levels, std::uint32_t threshold,
-          bool enable_weights);
+          bool enable_weights,
+          std::vector<std::uint32_t> split_thresholds);
 
     CatTree tree_;
 
   private:
-    static CatTree::Params makeParams(RowAddr num_rows,
-                                      std::uint32_t num_counters,
-                                      std::uint32_t max_levels,
-                                      std::uint32_t threshold,
-                                      bool enable_weights);
+    static CatTree::Params
+    makeParams(RowAddr num_rows, std::uint32_t num_counters,
+               std::uint32_t max_levels, std::uint32_t threshold,
+               bool enable_weights,
+               std::vector<std::uint32_t> split_thresholds);
 };
 
 } // namespace catsim

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Frozen pre-flattening CAT implementation; see the header for why
+ * this copy exists and why it must not change behaviour.
+ */
+
+#include "reference_cat_tree.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t v)
+{
+    std::uint32_t l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace
+
+ReferenceCatTree::ReferenceCatTree(Params params) : params_(std::move(params))
+{
+    const auto M = params_.numCounters;
+    const auto L = params_.maxLevels;
+    if (!isPow2(M) || M < 2)
+        CATSIM_FATAL("CAT counters must be a power of two >= 2, got ", M);
+    if (!isPow2(params_.numRows))
+        CATSIM_FATAL("CAT rows must be a power of two, got ",
+                     params_.numRows);
+    if (L < log2u(M) + 1)
+        CATSIM_FATAL("CAT levels L=", L, " must exceed log2(M)=",
+                     log2u(M));
+    if (params_.numRows < (1u << (L - 1)))
+        CATSIM_FATAL("CAT needs at least 2^(L-1) rows; got ",
+                     params_.numRows, " for L=", L);
+    if (params_.splitThresholds.size() != L)
+        CATSIM_FATAL("CAT needs one split threshold per level (", L,
+                     "), got ", params_.splitThresholds.size());
+    if (params_.splitThresholds.back() != params_.refreshThreshold)
+        CATSIM_FATAL("last split threshold must equal the refresh "
+                     "threshold");
+
+    presplitDepth_ = log2u(M) - 1;
+    reset();
+}
+
+void
+ReferenceCatTree::reset()
+{
+    const auto M = params_.numCounters;
+    inodes_.assign(M - 1, INode{});
+    inodeParent_.assign(M - 1, kNone);
+    inodeParentRight_.assign(M - 1, false);
+    inodeInUse_.assign(M - 1, false);
+    counts_.assign(M, 0);
+    weights_.assign(M, 0);
+    counterInUse_.assign(M, false);
+    freeCounters_.clear();
+    freeInodes_.clear();
+    for (std::uint32_t i = M; i-- > 1;)
+        freeCounters_.push_back(i);
+    for (std::uint32_t i = M - 1; i-- > 0;)
+        freeInodes_.push_back(i);
+
+    rootPtr_ = 0;
+    rootIsLeaf_ = true;
+    activeCounters_ = 1;
+    counterInUse_[0] = true;
+
+    presplit(kNone, false, 0, 0, presplitDepth_);
+}
+
+void
+ReferenceCatTree::resetCountsOnly()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void
+ReferenceCatTree::presplit(std::uint32_t parent, bool right,
+                           std::uint32_t counter, std::uint32_t depth,
+                           std::uint32_t target_depth)
+{
+    if (depth >= target_depth)
+        return;
+    Walk w;
+    w.counter = counter;
+    w.parent = parent;
+    w.parentRight = right;
+    const std::uint32_t nc = allocCounter();
+    const std::uint32_t ni = allocInode();
+    splitLeaf(w, nc, ni);
+    presplit(ni, false, counter, depth + 1, target_depth);
+    presplit(ni, true, nc, depth + 1, target_depth);
+}
+
+std::uint32_t
+ReferenceCatTree::allocCounter()
+{
+    if (freeCounters_.empty())
+        CATSIM_PANIC("CAT counter free list exhausted");
+    const std::uint32_t c = freeCounters_.back();
+    freeCounters_.pop_back();
+    counterInUse_[c] = true;
+    return c;
+}
+
+std::uint32_t
+ReferenceCatTree::allocInode()
+{
+    if (freeInodes_.empty())
+        CATSIM_PANIC("CAT intermediate-node free list exhausted");
+    const std::uint32_t i = freeInodes_.back();
+    freeInodes_.pop_back();
+    inodeInUse_[i] = true;
+    return i;
+}
+
+ReferenceCatTree::Walk
+ReferenceCatTree::walkTo(RowAddr row) const
+{
+    Walk w;
+    w.lo = 0;
+    w.hi = params_.numRows - 1;
+    std::uint32_t ptr = rootPtr_;
+    bool leaf = rootIsLeaf_;
+    while (!leaf) {
+        const INode &nd = inodes_[ptr];
+        const RowAddr mid = w.lo + (w.hi - w.lo) / 2;
+        w.parent = ptr;
+        if (row > mid) {
+            w.parentRight = true;
+            w.lo = mid + 1;
+            ptr = nd.r;
+            leaf = nd.rleaf;
+        } else {
+            w.parentRight = false;
+            w.hi = mid;
+            ptr = nd.l;
+            leaf = nd.lleaf;
+        }
+        ++w.depth;
+    }
+    w.counter = ptr;
+    return w;
+}
+
+bool
+ReferenceCatTree::canSplit(const Walk &w) const
+{
+    return w.depth + 1 < params_.maxLevels && w.lo < w.hi
+           && !freeCounters_.empty() && !freeInodes_.empty();
+}
+
+void
+ReferenceCatTree::splitLeaf(const Walk &w, std::uint32_t new_counter,
+                            std::uint32_t new_inode)
+{
+    INode &nd = inodes_[new_inode];
+    nd.l = w.counter;
+    nd.r = new_counter;
+    nd.lleaf = true;
+    nd.rleaf = true;
+    inodeParent_[new_inode] = w.parent;
+    inodeParentRight_[new_inode] = w.parentRight;
+
+    // Clone the count: both halves inherit the parent's history, which
+    // keeps the scheme conservative (no victim can be undercounted).
+    counts_[new_counter] = counts_[w.counter];
+    weights_[new_counter] = weights_[w.counter];
+
+    if (w.parent == kNone) {
+        rootPtr_ = new_inode;
+        rootIsLeaf_ = false;
+    } else {
+        INode &p = inodes_[w.parent];
+        if (w.parentRight) {
+            p.r = new_inode;
+            p.rleaf = false;
+        } else {
+            p.l = new_inode;
+            p.lleaf = false;
+        }
+    }
+    ++activeCounters_;
+}
+
+std::uint32_t
+ReferenceCatTree::thresholdAt(std::uint32_t depth, RowAddr lo,
+                              RowAddr hi) const
+{
+    (void)lo;
+    (void)hi;
+    return params_.splitThresholds[std::min<std::size_t>(
+        depth, params_.splitThresholds.size() - 1)];
+}
+
+ReferenceCatTree::AccessResult
+ReferenceCatTree::access(RowAddr row)
+{
+    if (row >= params_.numRows)
+        CATSIM_PANIC("row ", row, " out of range");
+
+    const Walk w = walkTo(row);
+    AccessResult res;
+    res.leafDepth = w.depth;
+    // Pointer chasing starts at the pre-split jump level; the counter
+    // itself costs a read and a write (Section IV-C).
+    const std::uint32_t hops =
+        w.depth > presplitDepth_ ? w.depth - presplitDepth_ : 0;
+    res.sramAccesses = hops + 2;
+
+    const bool splittable = canSplit(w);
+    const std::uint32_t thr = splittable
+        ? thresholdAt(w.depth, w.lo, w.hi)
+        : params_.refreshThreshold;
+
+    if (counts_[w.counter] < thr) {
+        ++counts_[w.counter];
+        return res;
+    }
+
+    if (splittable && thr < params_.refreshThreshold) {
+        const std::uint32_t nc = allocCounter();
+        const std::uint32_t ni = allocInode();
+        splitLeaf(w, nc, ni);
+        ++splits_;
+        res.didSplit = true;
+        return res;
+    }
+
+    // Refresh the whole group plus the two rows adjacent to it.
+    counts_[w.counter] = 0;
+    std::int64_t lo = static_cast<std::int64_t>(w.lo) - 1;
+    std::int64_t hi = static_cast<std::int64_t>(w.hi) + 1;
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi,
+                                static_cast<std::int64_t>(params_.numRows)
+                                    - 1);
+    res.refreshed = true;
+    res.lo = static_cast<RowAddr>(lo);
+    res.hi = static_cast<RowAddr>(hi);
+    res.rowsRefreshed = static_cast<Count>(hi - lo + 1);
+
+    if (params_.enableWeights) {
+        std::uint8_t &hotW = weights_[w.counter];
+        if (hotW < 3)
+            ++hotW;
+        for (std::uint32_t c = 0; c < params_.numCounters; ++c) {
+            if (c != w.counter && counterInUse_[c] && weights_[c] > 0)
+                --weights_[c];
+        }
+        if (hotW == 3)
+            res.didReconfigure = tryReconfigure(w);
+    }
+    return res;
+}
+
+std::uint32_t
+ReferenceCatTree::inodeDepth(std::uint32_t inode) const
+{
+    std::uint32_t d = 0;
+    std::uint32_t p = inodeParent_[inode];
+    while (p != kNone) {
+        ++d;
+        p = inodeParent_[p];
+    }
+    return d;
+}
+
+bool
+ReferenceCatTree::tryReconfigure(const Walk &hot)
+{
+    // Can the hot leaf be subdivided at all?
+    if (hot.depth + 1 >= params_.maxLevels || hot.lo >= hot.hi)
+        return false;
+
+    // Step 1 (Fig 7): find an intermediate node whose children are both
+    // cold leaf counters (weight zero).  Nodes above the pre-split
+    // level are never merged: the lambda-level balanced prefix is what
+    // allows direct SRAM indexing (Section IV-C), and keeping it also
+    // bounds the largest group a merge can create.
+    std::uint32_t cand = kNone;
+    for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+        if (!inodeInUse_[i])
+            continue;
+        const INode &nd = inodes_[i];
+        if (nd.lleaf && nd.rleaf && weights_[nd.l] == 0
+            && weights_[nd.r] == 0 && inodeDepth(i) >= presplitDepth_) {
+            cand = i;
+            break;
+        }
+    }
+    if (cand == kNone)
+        return false;
+
+    // Merge: keep the child with the larger count so the merged group
+    // can never undercount, free the other counter and the node.
+    const INode nd = inodes_[cand];
+    const std::uint32_t keep =
+        counts_[nd.l] >= counts_[nd.r] ? nd.l : nd.r;
+    const std::uint32_t drop = keep == nd.l ? nd.r : nd.l;
+    counts_[keep] = std::max(counts_[nd.l], counts_[nd.r]);
+
+    const std::uint32_t parent = inodeParent_[cand];
+    const bool side = inodeParentRight_[cand];
+    if (parent == kNone) {
+        rootPtr_ = keep;
+        rootIsLeaf_ = true;
+    } else {
+        INode &p = inodes_[parent];
+        if (side) {
+            p.r = keep;
+            p.rleaf = true;
+        } else {
+            p.l = keep;
+            p.lleaf = true;
+        }
+    }
+    inodeInUse_[cand] = false;
+    freeInodes_.push_back(cand);
+    counterInUse_[drop] = false;
+    weights_[drop] = 0;
+    counts_[drop] = 0;
+    freeCounters_.push_back(drop);
+    --activeCounters_;
+    ++merges_;
+
+    // Step 2: split the hot leaf with the freed counter.  The hot
+    // leaf's parent slot is untouched by the merge (the hot counter has
+    // weight 3, so it cannot have been a child of `cand`).
+    const std::uint32_t nc = allocCounter();
+    const std::uint32_t ni = allocInode();
+    splitLeaf(hot, nc, ni);
+    ++splits_;
+
+    // Step 3: newly split counters keep weight 1 so they are neither
+    // immediately re-split nor immediately merged back.
+    weights_[hot.counter] = 1;
+    weights_[nc] = 1;
+    return true;
+}
+
+std::uint32_t
+ReferenceCatTree::leafDepth(RowAddr row) const
+{
+    return walkTo(row).depth;
+}
+
+std::uint32_t
+ReferenceCatTree::counterValue(RowAddr row) const
+{
+    return counts_[walkTo(row).counter];
+}
+
+std::pair<RowAddr, RowAddr>
+ReferenceCatTree::leafRange(RowAddr row) const
+{
+    const Walk w = walkTo(row);
+    return {w.lo, w.hi};
+}
+
+std::uint32_t
+ReferenceCatTree::leafWeight(RowAddr row) const
+{
+    return weights_[walkTo(row).counter];
+}
+
+std::uint32_t
+ReferenceCatTree::maxLeafDepth() const
+{
+    std::uint32_t best = 0;
+    // Iterative DFS over (ptr, leaf?, depth).
+    struct Item
+    {
+        std::uint32_t ptr;
+        bool leaf;
+        std::uint32_t depth;
+    };
+    std::vector<Item> stack{{rootPtr_, rootIsLeaf_, 0}};
+    while (!stack.empty()) {
+        const Item it = stack.back();
+        stack.pop_back();
+        if (it.leaf) {
+            best = std::max(best, it.depth);
+            continue;
+        }
+        const INode &nd = inodes_[it.ptr];
+        stack.push_back({nd.l, nd.lleaf, it.depth + 1});
+        stack.push_back({nd.r, nd.rleaf, it.depth + 1});
+    }
+    return best;
+}
+
+bool
+ReferenceCatTree::walkInvariants(std::uint32_t ptr, bool is_leaf,
+                                 RowAddr lo, RowAddr hi,
+                                 std::uint32_t depth,
+                                 std::vector<bool> &seen_counters,
+                                 std::vector<bool> &seen_inodes,
+                                 std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    if (depth >= params_.maxLevels)
+        return fail("node deeper than L-1");
+    if (lo > hi)
+        return fail("empty row range");
+
+    if (is_leaf) {
+        if (ptr >= params_.numCounters)
+            return fail("leaf pointer out of range");
+        if (seen_counters[ptr])
+            return fail("counter reached twice");
+        if (!counterInUse_[ptr])
+            return fail("leaf references a free counter");
+        seen_counters[ptr] = true;
+        if (counts_[ptr] > params_.refreshThreshold)
+            return fail("count exceeds refresh threshold");
+        if (weights_[ptr] > 3)
+            return fail("weight exceeds 2-bit range");
+        if (!params_.enableWeights && weights_[ptr] != 0)
+            return fail("weights used without DRCAT mode");
+        return true;
+    }
+
+    if (ptr >= inodes_.size())
+        return fail("inode pointer out of range");
+    if (seen_inodes[ptr])
+        return fail("inode reached twice");
+    if (!inodeInUse_[ptr])
+        return fail("tree references a free inode");
+    seen_inodes[ptr] = true;
+
+    const INode &nd = inodes_[ptr];
+    if (!nd.lleaf) {
+        if (inodeParent_[nd.l] != ptr || inodeParentRight_[nd.l])
+            return fail("left child parent link broken");
+    }
+    if (!nd.rleaf) {
+        if (inodeParent_[nd.r] != ptr || !inodeParentRight_[nd.r])
+            return fail("right child parent link broken");
+    }
+    const RowAddr mid = lo + (hi - lo) / 2;
+    return walkInvariants(nd.l, nd.lleaf, lo, mid, depth + 1,
+                          seen_counters, seen_inodes, why)
+           && walkInvariants(nd.r, nd.rleaf, mid + 1, hi, depth + 1,
+                             seen_counters, seen_inodes, why);
+}
+
+bool
+ReferenceCatTree::checkInvariants(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    std::vector<bool> seenCounters(params_.numCounters, false);
+    std::vector<bool> seenInodes(inodes_.size(), false);
+    if (!rootIsLeaf_ && inodeParent_[rootPtr_] != kNone)
+        return fail("root has a parent link");
+    if (!walkInvariants(rootPtr_, rootIsLeaf_, 0, params_.numRows - 1, 0,
+                        seenCounters, seenInodes, why))
+        return false;
+
+    std::uint32_t leaves = 0;
+    for (std::uint32_t c = 0; c < params_.numCounters; ++c) {
+        if (seenCounters[c] != counterInUse_[c])
+            return fail("counterInUse inconsistent with tree");
+        if (seenCounters[c])
+            ++leaves;
+    }
+    if (leaves != activeCounters_)
+        return fail("activeCounters does not match leaf count");
+    if (leaves + freeCounters_.size() != params_.numCounters)
+        return fail("counter free list inconsistent");
+
+    std::uint32_t used = 0;
+    for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+        if (seenInodes[i] != inodeInUse_[i])
+            return fail("inodeInUse inconsistent with tree");
+        if (seenInodes[i])
+            ++used;
+    }
+    if (used + freeInodes_.size() != inodes_.size())
+        return fail("inode free list inconsistent");
+    if (used != leaves - 1 && !(rootIsLeaf_ && used == 0))
+        return fail("binary tree shape violated (inodes != leaves-1)");
+    return true;
+}
+
+} // namespace catsim

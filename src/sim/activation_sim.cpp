@@ -1,5 +1,7 @@
 #include "activation_sim.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace catsim
@@ -21,14 +23,25 @@ replayActivations(const std::vector<std::vector<RowAddr>> &bank_streams,
         if (!scheme)
             CATSIM_FATAL("replay needs a real scheme, not None");
 
+        // Feed marker-delimited chunks through the batch entry point:
+        // epoch markers are rare (one per 64 ms of simulated time), so
+        // nearly the whole stream goes through tight per-scheme inner
+        // loops instead of one virtual call per activation.
         Count epochs = 0;
-        for (const RowAddr row : stream) {
-            if (row == kEpochMarker) {
-                scheme->onEpoch();
-                ++epochs;
-                continue;
-            }
-            scheme->onActivate(row);
+        const RowAddr *data = stream.data();
+        const std::size_t n = stream.size();
+        std::size_t begin = 0;
+        while (begin <= n) {
+            const RowAddr *chunk_end = std::find(
+                data + begin, data + n, kEpochMarker);
+            const std::size_t end =
+                static_cast<std::size_t>(chunk_end - data);
+            scheme->onActivateBatch(data + begin, end - begin);
+            if (end == n)
+                break;
+            scheme->onEpoch();
+            ++epochs;
+            begin = end + 1;
         }
         if (bankIdx == 0)
             res.epochs = epochs;

@@ -82,8 +82,22 @@ SchemeConfig
 ExperimentRunner::scaledScheme(const SchemeConfig &scheme) const
 {
     SchemeConfig s = scheme;
-    if (s.kind != SchemeKind::Pra)
-        s.threshold = scaledThreshold(scheme.threshold);
+    if (s.kind == SchemeKind::Pra)
+        return s;
+    s.threshold = scaledThreshold(scheme.threshold);
+    if (!s.splitThresholds.empty()) {
+        // Co-scale a custom split schedule proportionally to the
+        // scaled refresh threshold (NOT through scaledThreshold's 512
+        // floor, which would flatten eager low-threshold schedules)
+        // so the schedule keeps its shape relative to T.
+        const double ratio = static_cast<double>(s.threshold)
+                             / static_cast<double>(scheme.threshold);
+        for (auto &t : s.splitThresholds)
+            t = std::max<std::uint32_t>(
+                2, static_cast<std::uint32_t>(std::llround(
+                       static_cast<double>(t) * ratio)));
+        s.splitThresholds.back() = s.threshold;
+    }
     return s;
 }
 

@@ -38,4 +38,20 @@ SweepRunner::runEto(const std::vector<SweepCell> &cells)
     return results;
 }
 
+std::vector<double>
+SweepRunner::runMetric(
+    const std::vector<SweepCell> &cells,
+    const std::function<double(ExperimentRunner &, const SweepCell &)>
+        &fn)
+{
+    std::vector<double> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results, &fn](std::size_t i) {
+            results[i] = fn(runner_, cells[i]);
+        },
+        jobs_);
+    return results;
+}
+
 } // namespace catsim

@@ -21,6 +21,7 @@
 #define CATSIM_SIM_SWEEP_HPP
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -35,6 +36,9 @@ struct SweepCell
     SystemPreset preset = SystemPreset::DualCore2Ch;
     WorkloadSpec workload;
     SchemeConfig scheme;
+    /** Free-form variant id for runMetric callbacks (e.g. which split
+     *  schedule an ablation cell evaluates); unused by runCmrpo/Eto. */
+    std::uint64_t tag = 0;
 };
 
 /** Evaluates experiment grids concurrently. */
@@ -53,6 +57,20 @@ class SweepRunner
 
     /** ETO timing run for every cell; results[i] belongs to cells[i]. */
     std::vector<double> runEto(const std::vector<SweepCell> &cells);
+
+    /**
+     * Arbitrary per-cell metric on the same pool and shared baseline
+     * cache; results[i] belongs to cells[i].  @p fn must be
+     * deterministic given its cell and thread-safe against concurrent
+     * calls (the shared ExperimentRunner is).  This is how benches
+     * with bespoke evaluations (e.g. the split-schedule ablation's
+     * victim-row replays) ride the sweep engine without teaching it
+     * their metric.
+     */
+    std::vector<double> runMetric(
+        const std::vector<SweepCell> &cells,
+        const std::function<double(ExperimentRunner &,
+                                   const SweepCell &)> &fn);
 
     /** The shared runner (baseline cache, counters, disk cache dir). */
     ExperimentRunner &runner() { return runner_; }

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "core/drcat.hpp"
+#include "core/sca.hpp"
 #include "sim/activation_sim.hpp"
 #include "trace/workloads.hpp"
 
@@ -117,6 +120,133 @@ TEST(ActivationSim, PerBankSchemesAreIndependent)
     EXPECT_EQ(res.stats.refreshEvents, 1u)
         << "only the hammered bank may refresh";
     EXPECT_EQ(res.banks, 2u);
+}
+
+namespace
+{
+
+bool
+sameStats(const SchemeStats &a, const SchemeStats &b)
+{
+    return a.activations == b.activations
+           && a.refreshEvents == b.refreshEvents
+           && a.victimRowsRefreshed == b.victimRowsRefreshed
+           && a.sramAccesses == b.sramAccesses
+           && a.prngBits == b.prngBits && a.splits == b.splits
+           && a.merges == b.merges && a.epochResets == b.epochResets
+           && a.counterDramReads == b.counterDramReads
+           && a.counterDramWrites == b.counterDramWrites;
+}
+
+std::vector<RowAddr>
+mixedRows(std::size_t n, std::uint64_t seed)
+{
+    std::vector<RowAddr> rows;
+    rows.reserve(n);
+    Xoshiro256StarStar rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+        rows.push_back(rng.nextDouble() < 0.6
+            ? static_cast<RowAddr>(rng.nextBounded(8))
+            : static_cast<RowAddr>(rng.nextBounded(65536)));
+    return rows;
+}
+
+} // namespace
+
+TEST(ActivationSim, BatchMatchesPerCallForCatOverride)
+{
+    // Prcat/Drcat override onActivateBatch; driving the same rows in
+    // arbitrary chunk sizes must leave stats identical to per-call.
+    const auto rows = mixedRows(120000, 21);
+    Drcat perCall(65536, 64, 11, 1024);
+    Drcat batched(65536, 64, 11, 1024);
+    for (const RowAddr r : rows)
+        perCall.onActivate(r);
+    std::size_t begin = 0;
+    std::size_t chunk = 1;
+    while (begin < rows.size()) { // ragged chunks incl. size 0 and 1
+        const std::size_t n =
+            std::min(chunk % 7001, rows.size() - begin);
+        batched.onActivateBatch(rows.data() + begin, n);
+        begin += n;
+        chunk = chunk * 13 + 7;
+    }
+    EXPECT_TRUE(sameStats(perCall.stats(), batched.stats()));
+    EXPECT_EQ(perCall.tree().maxLeafDepth(),
+              batched.tree().maxLeafDepth());
+}
+
+TEST(ActivationSim, BatchMatchesPerCallForDefaultImplementation)
+{
+    // Schemes without an override go through the base-class loop.
+    const auto rows = mixedRows(50000, 22);
+    Sca perCall(65536, 64, 1024);
+    Sca batched(65536, 64, 1024);
+    for (const RowAddr r : rows)
+        perCall.onActivate(r);
+    batched.onActivateBatch(rows.data(), rows.size());
+    EXPECT_TRUE(sameStats(perCall.stats(), batched.stats()));
+}
+
+TEST(ActivationSim, BatchedReplayMatchesPerActivationReplay)
+{
+    // The chunked replayActivations must equal a hand-rolled per-row
+    // replay over marker-laced streams, including edge layouts
+    // (leading/trailing/adjacent markers, empty stream).
+    std::vector<std::vector<RowAddr>> streams(4);
+    streams[0] = mixedRows(40000, 23);
+    for (std::size_t i = 5000; i < streams[0].size(); i += 5000)
+        streams[0][i] = kEpochMarker;
+    streams[1].push_back(kEpochMarker); // leading + adjacent markers
+    streams[1].push_back(kEpochMarker);
+    for (int i = 0; i < 3000; ++i)
+        streams[1].push_back(7);
+    streams[2] = mixedRows(2000, 24);
+    streams[2].push_back(kEpochMarker); // trailing marker
+    // streams[3] stays empty.
+
+    for (const SchemeKind kind :
+         {SchemeKind::Drcat, SchemeKind::Prcat, SchemeKind::Sca}) {
+        SchemeConfig cfg;
+        cfg.kind = kind;
+        cfg.numCounters = 64;
+        cfg.maxLevels = 11;
+        cfg.threshold = 1024;
+        const auto batched = replayActivations(streams, cfg, 65536);
+
+        ReplayResult manual;
+        manual.banks = streams.size();
+        std::uint32_t bankIdx = 0;
+        for (const auto &stream : streams) {
+            SchemeConfig bankCfg = cfg;
+            bankCfg.seed = cfg.seed * 1000003ULL + bankIdx;
+            auto scheme = makeScheme(bankCfg, 65536);
+            Count epochs = 0;
+            for (const RowAddr row : stream) {
+                if (row == kEpochMarker) {
+                    scheme->onEpoch();
+                    ++epochs;
+                    continue;
+                }
+                scheme->onActivate(row);
+            }
+            if (bankIdx == 0)
+                manual.epochs = epochs;
+            const SchemeStats &st = scheme->stats();
+            manual.stats.activations += st.activations;
+            manual.stats.refreshEvents += st.refreshEvents;
+            manual.stats.victimRowsRefreshed += st.victimRowsRefreshed;
+            manual.stats.sramAccesses += st.sramAccesses;
+            manual.stats.splits += st.splits;
+            manual.stats.merges += st.merges;
+            manual.stats.epochResets += st.epochResets;
+            ++bankIdx;
+        }
+        EXPECT_TRUE(sameStats(batched.stats, manual.stats))
+            << "scheme kind " << static_cast<int>(kind);
+        EXPECT_EQ(batched.epochs, manual.epochs);
+        EXPECT_EQ(batched.banks, manual.banks);
+    }
 }
 
 TEST(ActivationSim, DrcatReplayKeepsInvariantStats)

@@ -283,4 +283,15 @@ TEST(CatTreeDeath, RejectsBadParams)
                 "split threshold");
 }
 
+TEST(CatTreeDeath, RejectsScheduleAboveRefreshThreshold)
+{
+    // A split threshold above T would let a group count past the
+    // refresh threshold without refreshing (custom schedules are user
+    // input via SchemeConfig::splitThresholds).
+    auto params = makeParams(65536, 64, 11, 32768);
+    params.splitThresholds[6] = params.refreshThreshold + 1;
+    EXPECT_EXIT(CatTree{params}, ::testing::ExitedWithCode(1),
+                "exceeds the refresh threshold");
+}
+
 } // namespace catsim

@@ -108,6 +108,36 @@ TEST(Experiment, AttackWorkloadRuns)
     EXPECT_EQ(w.label(), "attack-Heavy-k3+comm2");
 }
 
+TEST(Experiment, CustomSplitScheduleCoScalesWithThreshold)
+{
+    // A custom schedule built from the paper threshold must be scaled
+    // with T before it reaches the CAT, whose constructor requires the
+    // last entry to equal the (scaled) refresh threshold - this test
+    // dies if the co-scaling is wrong.  An eager schedule refreshes
+    // no MORE victim rows than the lazy one on the same streams.
+    ExperimentRunner runner(kTestScale);
+    WorkloadSpec w;
+    w.name = "comm1";
+
+    auto withSchedule = [&](std::uint32_t div) {
+        SchemeConfig cfg = scheme(SchemeKind::Drcat);
+        cfg.splitThresholds.assign(cfg.maxLevels,
+                                   cfg.threshold / div);
+        cfg.splitThresholds.back() = cfg.threshold;
+        return runner.evalCmrpo(SystemPreset::DualCore2Ch, w, cfg);
+    };
+    const auto eager = withSchedule(16);
+    const auto lazy = withSchedule(2);
+    EXPECT_GT(eager.cmrpo, 0.0);
+    EXPECT_GT(lazy.cmrpo, 0.0);
+    // Both schedules may fully saturate the counters (equal split
+    // totals), but the eager one deepens the tree earlier, so its
+    // walks make more SRAM accesses over the run.
+    EXPECT_GE(eager.stats.splits, lazy.stats.splits);
+    EXPECT_GT(eager.stats.sramAccesses, lazy.stats.sramAccesses)
+        << "an eager schedule must deepen the tree earlier";
+}
+
 TEST(Experiment, EtoNonNegativeAndSmall)
 {
     ExperimentRunner runner(kTestScale);

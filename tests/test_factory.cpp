@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/factory.hpp"
+#include "core/prcat.hpp"
 
 namespace catsim
 {
@@ -54,6 +55,29 @@ TEST(Factory, BuildsEveryKind)
     cfg.kind = SchemeKind::CounterCache;
     cfg.numCounters = 2048;
     EXPECT_EQ(makeScheme(cfg, 65536)->name(), "CC_2048");
+}
+
+TEST(Factory, CustomSplitScheduleReachesTree)
+{
+    // SchemeConfig::splitThresholds must flow through to the CAT: an
+    // all-100 schedule splits the hot group on the 101st activation
+    // instead of at the Section IV-D threshold.
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Prcat;
+    cfg.numCounters = 64;
+    cfg.maxLevels = 11;
+    cfg.threshold = 32768;
+    cfg.splitThresholds.assign(11, 100);
+    cfg.splitThresholds.back() = cfg.threshold;
+    auto scheme = makeScheme(cfg, 65536);
+    auto *prcat = dynamic_cast<Prcat *>(scheme.get());
+    ASSERT_NE(prcat, nullptr);
+    for (int i = 0; i < 100; ++i)
+        scheme->onActivate(42);
+    EXPECT_EQ(prcat->tree().leafDepth(42), 5u);
+    scheme->onActivate(42);
+    EXPECT_EQ(prcat->tree().leafDepth(42), 6u);
+    EXPECT_TRUE(prcat->tree().checkInvariants());
 }
 
 TEST(Factory, LabelsMatchSchemes)

@@ -109,6 +109,44 @@ TEST(Sweep, EtoParallelMatchesSerial)
         EXPECT_EQ(expected[i], got[i]) << "cell " << i;
 }
 
+TEST(Sweep, RunMetricParallelMatchesSerial)
+{
+    // Custom per-cell metrics (the ablation bench's path) must come
+    // back cell-indexed and identical at any job count; the tag field
+    // must reach the callback.
+    std::vector<SweepCell> cells;
+    for (const char *name : {"comm1", "swapt"}) {
+        for (std::uint64_t tag = 0; tag < 3; ++tag) {
+            SweepCell c;
+            c.workload.name = name;
+            c.tag = tag;
+            cells.push_back(c);
+        }
+    }
+    const auto metric = [](ExperimentRunner &runner,
+                           const SweepCell &cell) {
+        const auto &base =
+            runner.baseline(cell.preset, cell.workload);
+        // Deterministic function of the baseline and the tag.
+        return static_cast<double>(base.totalActivations)
+               * static_cast<double>(cell.tag + 1);
+    };
+
+    SweepRunner serial(kTestScale, 1);
+    SweepRunner parallel4(kTestScale, 4);
+    const auto expected = serial.runMetric(cells, metric);
+    const auto got = parallel4.runMetric(cells, metric);
+
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], got[i]) << "cell " << i;
+        EXPECT_GT(expected[i], 0.0) << "cell " << i;
+    }
+    // Tags scale the metric, so cells sharing a workload must differ.
+    EXPECT_EQ(expected[1], 2.0 * expected[0]);
+    EXPECT_EQ(expected[2], 3.0 * expected[0]);
+}
+
 TEST(Sweep, BaselineComputedOnceUnderContention)
 {
     // Eight cells hammer the same (preset, workload) concurrently;
