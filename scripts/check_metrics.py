@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Paper-metric regression guard.
+
+Compares the ``metrics`` object of every ``BENCH_<name>.json`` in a
+results directory against the committed reference values in
+``scripts/reference_metrics.json``.  The bench metrics are
+deterministic given the experiment scale (results are bit-identical at
+any CATSIM_JOBS), so the default tolerance only absorbs cross-platform
+libm noise; a real physics regression moves metrics by orders of
+magnitude more.
+
+Usage:
+    scripts/check_metrics.py RESULTS_DIR [--reference FILE]
+
+Reference file layout (all tolerances optional):
+    {
+      "scale": 0.05,
+      "default_rel_tol": 1e-6,
+      "default_abs_tol": 1e-9,
+      "tolerances": {"metric_name": {"rel": 0.01, "abs": 1e-6}},
+      "benches": {"bench_fig08_cmrpo": {"metric": value, ...}, ...}
+    }
+
+Exit status: 0 when every overlapping metric matches (or nothing
+overlaps), 1 on any mismatch, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_json(path: Path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", type=Path)
+    parser.add_argument(
+        "--reference",
+        type=Path,
+        default=Path(__file__).parent / "reference_metrics.json",
+    )
+    args = parser.parse_args()
+
+    ref = load_json(args.reference)
+    ref_scale = ref.get("scale")
+    default_rel = ref.get("default_rel_tol", 1e-6)
+    default_abs = ref.get("default_abs_tol", 1e-9)
+    per_metric = ref.get("tolerances", {})
+    ref_benches = ref.get("benches", {})
+
+    bench_files = sorted(args.results_dir.glob("BENCH_*.json"))
+    if not bench_files:
+        print(f"error: no BENCH_*.json under {args.results_dir}",
+              file=sys.stderr)
+        return 2
+
+    checked = failures = skipped = 0
+    for path in bench_files:
+        data = load_json(path)
+        name = data.get("bench", path.stem.replace("BENCH_", ""))
+        if ref_scale is not None and data.get("scale") != ref_scale:
+            print(f"SKIP {name}: scale {data.get('scale')} != "
+                  f"reference scale {ref_scale}")
+            skipped += 1
+            continue
+        expected = ref_benches.get(name)
+        if expected is None:
+            print(f"SKIP {name}: no reference entry")
+            skipped += 1
+            continue
+        got = data.get("metrics", {})
+        bench_fail = 0
+        for metric, want in sorted(expected.items()):
+            if metric not in got:
+                print(f"FAIL {name}.{metric}: missing from results")
+                bench_fail += 1
+                continue
+            have = got[metric]
+            tol = per_metric.get(metric, {})
+            rel = tol.get("rel", default_rel)
+            abs_tol = tol.get("abs", default_abs)
+            if not math.isclose(have, want, rel_tol=rel,
+                                abs_tol=abs_tol):
+                print(f"FAIL {name}.{metric}: got {have!r}, "
+                      f"want {want!r} (rel_tol={rel}, "
+                      f"abs_tol={abs_tol})")
+                bench_fail += 1
+        extra = sorted(set(got) - set(expected))
+        if extra:
+            # New metrics are fine (a later PR refreshes the
+            # reference); just make them visible.
+            print(f"note {name}: unreferenced metrics {extra}")
+        checked += 1
+        failures += bench_fail
+        if not bench_fail:
+            print(f"PASS {name} ({len(expected)} metrics)")
+
+    print(f"\nchecked {checked} bench(es), {skipped} skipped, "
+          f"{failures} failing metric(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

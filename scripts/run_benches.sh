@@ -16,6 +16,10 @@
 #                  across runs (not set by default: trajectory numbers
 #                  should include the baseline cost unless asked)
 #   BENCH_FILTER   only run benches whose name matches this grep regex
+#   CATSIM_CHECK_METRICS  set to 0 to skip the reference-metric
+#                  regression check (scripts/check_metrics.py); the
+#                  check auto-skips benches whose scale differs from
+#                  the committed reference scale
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -88,6 +92,20 @@ ${metrics}  }
 EOF
     echo "    ${elapsed} ms, exit ${exit_code}"
 done
+
+# Regression-check the recorded metrics against the committed
+# reference values (deterministic given the scale; see
+# scripts/reference_metrics.json for tolerances).
+REFERENCE="${REPO_ROOT}/scripts/reference_metrics.json"
+if [ "${CATSIM_CHECK_METRICS:-1}" != "0" ] && [ -f "${REFERENCE}" ] \
+    && command -v python3 > /dev/null; then
+    echo "==> checking metrics against $(basename "${REFERENCE}")"
+    if ! python3 "${REPO_ROOT}/scripts/check_metrics.py" \
+        "${OUT_DIR}" --reference "${REFERENCE}"; then
+        echo "::error::bench metrics regressed against reference"
+        status=1
+    fi
+fi
 
 echo "Results in ${OUT_DIR}/"
 exit "${status}"

@@ -1,5 +1,6 @@
 #include "config.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 
@@ -156,6 +157,15 @@ experimentScale()
     } catch (...) {
         return 1.0;
     }
+}
+
+std::string
+asciiLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
 }
 
 } // namespace catsim

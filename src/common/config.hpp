@@ -55,6 +55,9 @@ class Config
  */
 double experimentScale();
 
+/** ASCII-lowercased copy, for the case-insensitive name parsers. */
+std::string asciiLower(std::string s);
+
 } // namespace catsim
 
 #endif // CATSIM_COMMON_CONFIG_HPP

@@ -32,6 +32,14 @@ using MilliWatt = double;
 /** Count of events (row activations, refreshes, ...). */
 using Count = std::uint64_t;
 
+/**
+ * Sentinel inserted into recorded per-bank activation streams at 64 ms
+ * auto-refresh epoch boundaries.  Lives here (not in the sim layer)
+ * because both the recorders (timing sim, trace ingestion) and the
+ * replayers agree on it.
+ */
+constexpr RowAddr kEpochMarker = 0xFFFFFFFFu;
+
 } // namespace catsim
 
 #endif // CATSIM_COMMON_TYPES_HPP

@@ -114,19 +114,8 @@ MemoryController::combinedSchemeStats() const
 {
     SchemeStats sum;
     for (const auto &s : schemes_) {
-        if (!s)
-            continue;
-        const SchemeStats &st = s->stats();
-        sum.activations += st.activations;
-        sum.refreshEvents += st.refreshEvents;
-        sum.victimRowsRefreshed += st.victimRowsRefreshed;
-        sum.sramAccesses += st.sramAccesses;
-        sum.prngBits += st.prngBits;
-        sum.splits += st.splits;
-        sum.merges += st.merges;
-        sum.epochResets += st.epochResets;
-        sum.counterDramReads += st.counterDramReads;
-        sum.counterDramWrites += st.counterDramWrites;
+        if (s)
+            sum.add(s->stats());
     }
     return sum;
 }

@@ -1,8 +1,8 @@
 #include "factory.hpp"
 
-#include <algorithm>
 #include <sstream>
 
+#include "common/config.hpp"
 #include "common/logging.hpp"
 #include "core/counter_cache.hpp"
 #include "core/drcat.hpp"
@@ -43,8 +43,7 @@ SchemeConfig::label() const
 SchemeKind
 parseSchemeKind(const std::string &name)
 {
-    std::string s = name;
-    std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+    const std::string s = asciiLower(name);
     if (s == "none")
         return SchemeKind::None;
     if (s == "sca")

@@ -50,6 +50,22 @@ struct SchemeStats
     Count epochResets = 0;          //!< PRCAT periodic resets
     Count counterDramReads = 0;     //!< counter-cache misses -> DRAM
     Count counterDramWrites = 0;    //!< counter-cache writebacks
+
+    /** Accumulate another instance field by field. */
+    void
+    add(const SchemeStats &o)
+    {
+        activations += o.activations;
+        refreshEvents += o.refreshEvents;
+        victimRowsRefreshed += o.victimRowsRefreshed;
+        sramAccesses += o.sramAccesses;
+        prngBits += o.prngBits;
+        splits += o.splits;
+        merges += o.merges;
+        epochResets += o.epochResets;
+        counterDramReads += o.counterDramReads;
+        counterDramWrites += o.counterDramWrites;
+    }
 };
 
 /**

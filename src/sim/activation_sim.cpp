@@ -1,65 +1,90 @@
 #include "activation_sim.hpp"
 
-#include <algorithm>
-
 #include "common/logging.hpp"
 
 namespace catsim
 {
 
+namespace
+{
+
+/** Drive one bank's source through one scheme instance. */
+Count
+playSource(ActivationSource &source, MitigationScheme &scheme)
+{
+    const bool closed = source.closedLoop();
+    Count epochs = 0;
+    for (;;) {
+        const RowAddr *rows = nullptr;
+        std::size_t count = 0;
+        const SourceChunk chunk = source.next(&rows, &count);
+        if (chunk == SourceChunk::End)
+            break;
+        if (chunk == SourceChunk::Epoch) {
+            scheme.onEpoch();
+            ++epochs;
+            continue;
+        }
+        if (closed) {
+            // Per-activation loop: the source sees every RefreshAction,
+            // which is what lets adaptive attackers react.
+            for (std::size_t i = 0; i < count; ++i) {
+                const RefreshAction act = scheme.onActivate(rows[i]);
+                source.onRefreshAction(rows[i], act);
+            }
+        } else {
+            // Epoch markers are rare (one per 64 ms of simulated
+            // time), so nearly the whole stream goes through tight
+            // per-scheme inner loops instead of one virtual call per
+            // activation.
+            scheme.onActivateBatch(rows, count);
+        }
+    }
+    return epochs;
+}
+
+} // namespace
+
 ReplayResult
-replayActivations(const std::vector<std::vector<RowAddr>> &bank_streams,
-                  const SchemeConfig &scheme_config,
-                  RowAddr rows_per_bank)
+replaySources(
+    const std::vector<std::unique_ptr<ActivationSource>> &sources,
+    const SchemeConfig &scheme_config, RowAddr rows_per_bank)
 {
     ReplayResult res;
-    res.banks = bank_streams.size();
+    res.banks = sources.size();
 
     std::uint32_t bankIdx = 0;
-    for (const auto &stream : bank_streams) {
+    for (const auto &source : sources) {
+        if (!source) {
+            ++bankIdx;
+            continue;
+        }
         SchemeConfig cfg = scheme_config;
         cfg.seed = scheme_config.seed * 1000003ULL + bankIdx;
         auto scheme = makeScheme(cfg, rows_per_bank);
         if (!scheme)
             CATSIM_FATAL("replay needs a real scheme, not None");
 
-        // Feed marker-delimited chunks through the batch entry point:
-        // epoch markers are rare (one per 64 ms of simulated time), so
-        // nearly the whole stream goes through tight per-scheme inner
-        // loops instead of one virtual call per activation.
-        Count epochs = 0;
-        const RowAddr *data = stream.data();
-        const std::size_t n = stream.size();
-        std::size_t begin = 0;
-        while (begin <= n) {
-            const RowAddr *chunk_end = std::find(
-                data + begin, data + n, kEpochMarker);
-            const std::size_t end =
-                static_cast<std::size_t>(chunk_end - data);
-            scheme->onActivateBatch(data + begin, end - begin);
-            if (end == n)
-                break;
-            scheme->onEpoch();
-            ++epochs;
-            begin = end + 1;
-        }
+        const Count epochs = playSource(*source, *scheme);
         if (bankIdx == 0)
             res.epochs = epochs;
-
-        const SchemeStats &st = scheme->stats();
-        res.stats.activations += st.activations;
-        res.stats.refreshEvents += st.refreshEvents;
-        res.stats.victimRowsRefreshed += st.victimRowsRefreshed;
-        res.stats.sramAccesses += st.sramAccesses;
-        res.stats.prngBits += st.prngBits;
-        res.stats.splits += st.splits;
-        res.stats.merges += st.merges;
-        res.stats.epochResets += st.epochResets;
-        res.stats.counterDramReads += st.counterDramReads;
-        res.stats.counterDramWrites += st.counterDramWrites;
+        res.stats.add(scheme->stats());
         ++bankIdx;
     }
     return res;
+}
+
+ReplayResult
+replayActivations(const std::vector<std::vector<RowAddr>> &bank_streams,
+                  const SchemeConfig &scheme_config,
+                  RowAddr rows_per_bank)
+{
+    std::vector<std::unique_ptr<ActivationSource>> sources;
+    sources.reserve(bank_streams.size());
+    for (const auto &stream : bank_streams)
+        sources.push_back(
+            std::make_unique<RecordedStreamSource>(stream));
+    return replaySources(sources, scheme_config, rows_per_bank);
 }
 
 } // namespace catsim

@@ -13,11 +13,13 @@
 #ifndef CATSIM_SIM_ACTIVATION_SIM_HPP
 #define CATSIM_SIM_ACTIVATION_SIM_HPP
 
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/factory.hpp"
 #include "core/mitigation.hpp"
+#include "sim/activation_source.hpp"
 #include "sim/timing_sim.hpp"
 
 namespace catsim
@@ -45,6 +47,18 @@ struct ReplayResult
  */
 ReplayResult replayActivations(
     const std::vector<std::vector<RowAddr>> &bank_streams,
+    const SchemeConfig &scheme_config, RowAddr rows_per_bank);
+
+/**
+ * Drive one ActivationSource per bank through fresh per-bank scheme
+ * instances (sources[i] is bank i's stream).  Open-loop sources go
+ * through the onActivateBatch fast path; closed-loop sources are
+ * stepped one activation at a time and receive the scheme's
+ * RefreshAction after each - this is how adaptive attackers observe
+ * the defense.  Null entries are skipped (bank idle).
+ */
+ReplayResult replaySources(
+    const std::vector<std::unique_ptr<ActivationSource>> &sources,
     const SchemeConfig &scheme_config, RowAddr rows_per_bank);
 
 } // namespace catsim

@@ -1,0 +1,168 @@
+#include "activation_source.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+SourceChunk
+RecordedStreamSource::next(const RowAddr **rows, std::size_t *count)
+{
+    if (finished_)
+        return SourceChunk::End;
+    if (nextIsEpoch_) {
+        nextIsEpoch_ = false;
+        return SourceChunk::Epoch;
+    }
+    const RowAddr *data = stream_->data();
+    const std::size_t n = stream_->size();
+    const RowAddr *chunkEnd =
+        std::find(data + begin_, data + n, kEpochMarker);
+    const std::size_t end = static_cast<std::size_t>(chunkEnd - data);
+    *rows = data + begin_;
+    *count = end - begin_;
+    if (end == n) {
+        finished_ = true;
+    } else {
+        nextIsEpoch_ = true;
+        begin_ = end + 1;
+    }
+    return SourceChunk::Rows;
+}
+
+AttackSourceBase::AttackSourceBase(const AttackSourceParams &params)
+    : params_(params), aggressors_(params.targets), rng_(params.seed)
+{
+    if (params_.targets.empty())
+        CATSIM_FATAL("attack source needs at least one target row");
+    if (params_.actsPerEpoch == 0)
+        CATSIM_FATAL("attack source needs actsPerEpoch > 0");
+    // A bank-filling aggressor set would leave re-aiming (freshRow)
+    // nowhere to rotate to.
+    if (params_.targets.size() >= params_.numRows)
+        CATSIM_FATAL("attack source needs fewer targets (",
+                     params_.targets.size(), ") than rows (",
+                     params_.numRows, ")");
+    for (RowAddr t : params_.targets) {
+        if (t >= params_.numRows)
+            CATSIM_FATAL("target row ", t, " outside bank of ",
+                         params_.numRows, " rows");
+    }
+}
+
+bool
+AttackSourceBase::atBoundary(SourceChunk *out)
+{
+    if (pendingEpoch_) {
+        pendingEpoch_ = false;
+        producedInEpoch_ = 0;
+        ++epochsDone_;
+        *out = SourceChunk::Epoch;
+        return true;
+    }
+    if (epochsDone_ >= params_.epochs) {
+        *out = SourceChunk::End;
+        return true;
+    }
+    return false;
+}
+
+void
+AttackSourceBase::noteProduced(std::uint64_t n)
+{
+    producedInEpoch_ += n;
+    if (producedInEpoch_ >= params_.actsPerEpoch)
+        pendingEpoch_ = true;
+}
+
+RowAddr
+AttackSourceBase::nextAggressor()
+{
+    // Many-sided hammer: cycle through the aggressor set.
+    lastAggressorIdx_ = hammerIdx_;
+    hammerIdx_ = (hammerIdx_ + 1) % aggressors_.size();
+    return aggressors_[lastAggressorIdx_];
+}
+
+SyntheticAttackSource::SyntheticAttackSource(
+    const AttackSourceParams &params)
+    : AttackSourceBase(params)
+{
+    buffer_.resize(kChunk);
+}
+
+SourceChunk
+SyntheticAttackSource::next(const RowAddr **rows, std::size_t *count)
+{
+    SourceChunk boundary;
+    if (atBoundary(&boundary))
+        return boundary;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(leftInEpoch(), kChunk));
+    for (std::size_t i = 0; i < n; ++i) {
+        buffer_[i] = rng_.nextDouble() < params_.targetFraction
+            ? nextAggressor()
+            : static_cast<RowAddr>(rng_.nextBounded(params_.numRows));
+    }
+    noteProduced(n);
+    *rows = buffer_.data();
+    *count = n;
+    return SourceChunk::Rows;
+}
+
+RefreshAwareAttackerSource::RefreshAwareAttackerSource(
+    const AttackSourceParams &params)
+    : AttackSourceBase(params)
+{
+}
+
+RowAddr
+RefreshAwareAttackerSource::freshRow()
+{
+    // Re-aim to a row not currently in the aggressor set.
+    for (;;) {
+        const auto row =
+            static_cast<RowAddr>(rng_.nextBounded(params_.numRows));
+        if (std::find(aggressors_.begin(), aggressors_.end(), row)
+            == aggressors_.end())
+            return row;
+    }
+}
+
+SourceChunk
+RefreshAwareAttackerSource::next(const RowAddr **rows,
+                                 std::size_t *count)
+{
+    SourceChunk boundary;
+    if (atBoundary(&boundary))
+        return boundary;
+    if (rng_.nextDouble() < params_.targetFraction) {
+        lastWasAggressor_ = true;
+        current_ = nextAggressor();
+    } else {
+        lastWasAggressor_ = false;
+        current_ =
+            static_cast<RowAddr>(rng_.nextBounded(params_.numRows));
+    }
+    noteProduced(1);
+    *rows = &current_;
+    *count = 1;
+    return SourceChunk::Rows;
+}
+
+void
+RefreshAwareAttackerSource::onRefreshAction(RowAddr row,
+                                            const RefreshAction &act)
+{
+    if (!act.triggered() || !lastWasAggressor_ || row != current_)
+        return;
+    // The defense just refreshed victims around this aggressor: it has
+    // been located.  Rotate it to a fresh row (TRR-style re-aim) so
+    // defenses that learn stable hot locations must start over.
+    aggressors_[lastAggressorIdx_] = freshRow();
+    ++rotations_;
+}
+
+} // namespace catsim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Pluggable per-bank activation sources for the replay engine.
+ *
+ * A mitigation scheme consumes one bank's row-activation stream; an
+ * ActivationSource produces it.  Three families exist:
+ *
+ *  - RecordedStreamSource: replays a stream recorded by the timing
+ *    simulator (or ingested from a trace file).  Chunks are handed out
+ *    zero-copy between epoch markers, so the scheme's onActivateBatch
+ *    fast path is preserved and results are bit-identical to the
+ *    historical replayActivations loop.
+ *  - SyntheticAttackSource: generates a live kernel-attack stream
+ *    (targets + uniform benign filler) without any recording - an
+ *    open-loop synthetic generator.
+ *  - RefreshAwareAttackerSource: a *closed-loop* TRR-style adaptive
+ *    attacker.  It observes every RefreshAction the scheme under test
+ *    returns; when the defense refreshes around one of its aggressor
+ *    rows it rotates that aggressor elsewhere, defeating defenses
+ *    whose strength comes from learning stable hot locations.
+ *
+ * Closed-loop sources (closedLoop() == true) are driven one activation
+ * at a time and receive onRefreshAction() after each; open-loop
+ * sources are driven through the batched fast path.
+ */
+
+#ifndef CATSIM_SIM_ACTIVATION_SOURCE_HPP
+#define CATSIM_SIM_ACTIVATION_SOURCE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/mitigation.hpp"
+
+namespace catsim
+{
+
+/** What ActivationSource::next produced. */
+enum class SourceChunk
+{
+    Rows,  //!< a marker-free run of activations
+    Epoch, //!< a 64 ms auto-refresh boundary
+    End,   //!< stream exhausted
+};
+
+/** Pull-based producer of one bank's activation stream. */
+class ActivationSource
+{
+  public:
+    virtual ~ActivationSource() = default;
+
+    /** True when the source reacts to per-activation RefreshActions. */
+    virtual bool closedLoop() const { return false; }
+
+    /**
+     * Produce the next chunk.  On SourceChunk::Rows, the rows/count
+     * outputs describe a buffer owned by the source, valid until the
+     * next call.  Epoch and End leave the outputs untouched.
+     */
+    virtual SourceChunk next(const RowAddr **rows,
+                             std::size_t *count) = 0;
+
+    /**
+     * Feedback for one activation the replay engine just played
+     * (closed-loop sources only): the row and the scheme's response.
+     */
+    virtual void
+    onRefreshAction(RowAddr row, const RefreshAction &act)
+    {
+        (void)row;
+        (void)act;
+    }
+};
+
+/**
+ * Zero-copy source over a recorded stream (rows + kEpochMarker
+ * sentinels).  Emits exactly the chunk sequence the historical replay
+ * loop produced: every marker-delimited segment (including a possibly
+ * empty final one), with Epoch between segments.
+ */
+class RecordedStreamSource : public ActivationSource
+{
+  public:
+    /** @p stream must outlive the source. */
+    explicit RecordedStreamSource(const std::vector<RowAddr> &stream)
+        : stream_(&stream)
+    {
+    }
+
+    SourceChunk next(const RowAddr **rows, std::size_t *count) override;
+
+  private:
+    const std::vector<RowAddr> *stream_;
+    std::size_t begin_ = 0;
+    bool nextIsEpoch_ = false;
+    bool finished_ = false;
+};
+
+/** Shape of a synthetic per-bank attack stream. */
+struct AttackSourceParams
+{
+    RowAddr numRows = 65536;          //!< rows in this bank
+    std::vector<RowAddr> targets;     //!< initial aggressor rows
+    double targetFraction = 0.5;      //!< share of acts on aggressors
+    std::uint64_t actsPerEpoch = 0;   //!< activations per 64 ms epoch
+    std::uint64_t epochs = 2;         //!< epochs before End
+    std::uint64_t seed = 1;           //!< stream seed
+};
+
+/**
+ * Shared state machine of the live attack generators: the epoch /
+ * end-of-stream gate (an Epoch chunk after every actsPerEpoch
+ * activations, End after the configured epoch count) and the
+ * round-robin many-sided hammer over a mutable aggressor set.
+ */
+class AttackSourceBase : public ActivationSource
+{
+  public:
+    const std::vector<RowAddr> &aggressors() const
+    {
+        return aggressors_;
+    }
+
+  protected:
+    explicit AttackSourceBase(const AttackSourceParams &params);
+
+    /** True when next() must return *out (Epoch or End) unprocessed. */
+    bool atBoundary(SourceChunk *out);
+
+    /** Activations still allowed before the next epoch boundary. */
+    std::uint64_t leftInEpoch() const
+    {
+        return params_.actsPerEpoch - producedInEpoch_;
+    }
+
+    /** Account @p n produced activations toward the epoch gate. */
+    void noteProduced(std::uint64_t n);
+
+    /** Next aggressor row (round robin); sets lastAggressorIdx_. */
+    RowAddr nextAggressor();
+
+    AttackSourceParams params_;
+    std::vector<RowAddr> aggressors_;
+    Xoshiro256StarStar rng_;
+    std::size_t lastAggressorIdx_ = 0;
+
+  private:
+    std::uint64_t producedInEpoch_ = 0;
+    std::uint64_t epochsDone_ = 0;
+    std::size_t hammerIdx_ = 0;
+    bool pendingEpoch_ = false;
+};
+
+/**
+ * Open-loop live generator: aggressors are hammered round-robin
+ * (many-sided pattern) at the configured fraction, the rest of the
+ * stream is uniform benign filler.  Deterministic in its params.
+ */
+class SyntheticAttackSource : public AttackSourceBase
+{
+  public:
+    explicit SyntheticAttackSource(const AttackSourceParams &params);
+
+    SourceChunk next(const RowAddr **rows, std::size_t *count) override;
+
+    const std::vector<RowAddr> &targets() const { return aggressors_; }
+
+  private:
+    static constexpr std::size_t kChunk = 4096;
+
+    std::vector<RowAddr> buffer_;
+};
+
+/**
+ * Closed-loop TRR-style adaptive attacker.  Emits one activation at a
+ * time; after each, the replay engine reports the scheme's
+ * RefreshAction.  A triggered refresh whose victim range covers the
+ * neighborhood of one of the attacker's aggressors means the defense
+ * has located that aggressor - the attacker rotates it to a fresh row
+ * (re-aiming, TRRespass-style) and keeps hammering.
+ */
+class RefreshAwareAttackerSource : public AttackSourceBase
+{
+  public:
+    explicit RefreshAwareAttackerSource(
+        const AttackSourceParams &params);
+
+    bool closedLoop() const override { return true; }
+    SourceChunk next(const RowAddr **rows, std::size_t *count) override;
+    void onRefreshAction(RowAddr row,
+                         const RefreshAction &act) override;
+
+    /** Aggressor re-aims performed so far (for reports/tests). */
+    Count rotations() const { return rotations_; }
+
+  private:
+    RowAddr current_ = 0;
+    bool lastWasAggressor_ = false;
+    Count rotations_ = 0;
+
+    RowAddr freshRow();
+};
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_ACTIVATION_SOURCE_HPP

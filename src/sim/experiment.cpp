@@ -17,9 +17,28 @@ WorkloadSpec::label() const
     if (!isAttack)
         return name;
     std::ostringstream os;
-    os << "attack-" << attackModeName(attackMode) << "-k" << attackKernel
+    os << "attack-";
+    // The Gaussian default is omitted so pre-existing labels (and the
+    // on-disk baseline cache keys derived from them) stay unchanged.
+    if (attackKernelKind != AttackKernelKind::Gaussian)
+        os << attackKernelKindName(attackKernelKind) << '-';
+    os << attackModeName(attackMode) << "-k" << attackKernel
        << "+" << name;
     return os.str();
+}
+
+const char *
+attackerKindName(AttackerKind kind)
+{
+    switch (kind) {
+      case AttackerKind::Static:
+        return "Static";
+      case AttackerKind::MultiBank:
+        return "MultiBank";
+      case AttackerKind::RefreshAware:
+        return "RefreshAware";
+    }
+    return "?";
 }
 
 SystemConfig
@@ -151,12 +170,13 @@ ExperimentRunner::streamFactory(const WorkloadSpec &workload,
     if (workload.isAttack) {
         const AttackMode mode = workload.attackMode;
         const std::uint64_t kernel = workload.attackKernel;
+        const AttackKernelKind kind = workload.attackKernelKind;
         const std::uint64_t seed = workload.seed;
-        return [profile, geometry, &mapper, mode, kernel, seed,
+        return [profile, geometry, &mapper, mode, kernel, kind, seed,
                 records](CoreId core) -> std::unique_ptr<TraceStream> {
             return std::make_unique<AttackWorkload>(
                 profile, geometry, mapper, mode, kernel,
-                seed * 7919ULL + core + 1, records);
+                seed * 7919ULL + core + 1, records, 4, kind);
         };
     }
     const std::uint64_t seed = workload.seed;
@@ -248,17 +268,11 @@ ExperimentRunner::baseline(SystemPreset preset,
 }
 
 EvalResult
-ExperimentRunner::evalCmrpo(SystemPreset preset,
-                            const WorkloadSpec &workload,
-                            const SchemeConfig &scheme)
+ExperimentRunner::evalFromReplay(const ReplayResult &replay,
+                                 const SchemeConfig &scheme,
+                                 double exec_seconds,
+                                 const SystemConfig &sys) const
 {
-    const TimingResult &base = baseline(preset, workload);
-    const SystemConfig sys = makeSystem(preset);
-    const SchemeConfig sim = scaledScheme(scheme);
-
-    const ReplayResult replay = replayActivations(
-        base.bankStreams, sim, sys.geometry.rowsPerBank);
-
     // Per-bank averages feed the per-bank power model.
     const double banks = static_cast<double>(replay.banks);
     SchemeStats perBank;
@@ -281,10 +295,84 @@ ExperimentRunner::evalCmrpo(SystemPreset preset,
 
     EvalResult out;
     out.stats = replay.stats;
-    out.baselineSeconds = base.execSeconds;
-    out.power = schemePower(scheme, perBank, base.execSeconds);
+    out.baselineSeconds = exec_seconds;
+    out.power = schemePower(scheme, perBank, exec_seconds);
     out.cmrpo = cmrpo(out.power, sys.geometry.rowsPerBank);
     return out;
+}
+
+EvalResult
+ExperimentRunner::evalCmrpo(SystemPreset preset,
+                            const WorkloadSpec &workload,
+                            const SchemeConfig &scheme)
+{
+    const TimingResult &base = baseline(preset, workload);
+    const SystemConfig sys = makeSystem(preset);
+    const SchemeConfig sim = scaledScheme(scheme);
+
+    const ReplayResult replay = replayActivations(
+        base.bankStreams, sim, sys.geometry.rowsPerBank);
+    return evalFromReplay(replay, scheme, base.execSeconds, sys);
+}
+
+EvalResult
+ExperimentRunner::evalAdaptive(SystemPreset preset,
+                               const AdaptiveAttackSpec &attack,
+                               const SchemeConfig &scheme)
+{
+    const SystemConfig sys = makeSystem(preset);
+    const SchemeConfig sim = scaledScheme(scheme);
+
+    const double epochCycles =
+        static_cast<double>(sys.timing.refreshIntervalCycles()) * scale_;
+    // The attacker drives every bank flat out: one activation per tRC
+    // (the fastest legal ACT cadence on one bank).
+    const auto actsPerEpoch = static_cast<std::uint64_t>(
+        epochCycles / static_cast<double>(sys.timing.tRC));
+    if (actsPerEpoch == 0)
+        CATSIM_FATAL("experiment scale ", scale_,
+                     " leaves no activations in an epoch");
+
+    // Initial target placement comes from the same kernel strategies
+    // the open-loop AttackWorkload uses.
+    std::vector<std::vector<RowAddr>> targets(
+        sys.geometry.totalBanks());
+    for (auto &t : targets)
+        t.resize(attack.targetsPerBank);
+    const AttackKernelKind placement =
+        attack.attacker == AttackerKind::MultiBank
+            ? AttackKernelKind::MultiBank
+            : AttackKernelKind::Gaussian;
+    makeAttackKernel(placement)->pickTargets(targets, sys.geometry,
+                                             attack.kernel);
+
+    std::vector<std::unique_ptr<ActivationSource>> sources;
+    sources.reserve(targets.size());
+    for (std::uint32_t b = 0; b < targets.size(); ++b) {
+        AttackSourceParams p;
+        p.numRows = sys.geometry.rowsPerBank;
+        p.targets = std::move(targets[b]);
+        p.targetFraction = attackTargetFraction(attack.mode);
+        p.actsPerEpoch = actsPerEpoch;
+        p.epochs = attack.epochs;
+        p.seed = attack.seed * 1000003ULL + b;
+        if (attack.attacker == AttackerKind::RefreshAware)
+            sources.push_back(
+                std::make_unique<RefreshAwareAttackerSource>(p));
+        else
+            sources.push_back(
+                std::make_unique<SyntheticAttackSource>(p));
+    }
+
+    const ReplayResult replay =
+        replaySources(sources, sim, sys.geometry.rowsPerBank);
+    // The "baseline" run time of a closed-loop cell is the simulated
+    // wall clock itself: epochs * the scaled 64 ms refresh interval.
+    const double execSeconds =
+        sys.timing.cyclesToNs(static_cast<Cycle>(
+            epochCycles * static_cast<double>(attack.epochs)))
+        * 1e-9;
+    return evalFromReplay(replay, scheme, execSeconds, sys);
 }
 
 double

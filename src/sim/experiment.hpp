@@ -44,9 +44,39 @@ struct WorkloadSpec
     bool isAttack = false;
     AttackMode attackMode = AttackMode::Medium;
     std::uint64_t attackKernel = 1; //!< 1..12
+    /** Target placement (Gaussian = paper default; MultiBank
+     *  synchronizes one target set across all banks). */
+    AttackKernelKind attackKernelKind = AttackKernelKind::Gaussian;
     std::uint64_t seed = 42;
 
     std::string label() const;
+};
+
+/** Closed-loop attacker families evaluated by bench_fig14_adaptive. */
+enum class AttackerKind
+{
+    Static,       //!< fixed Gaussian targets, open loop
+    MultiBank,    //!< fixed targets synchronized across banks
+    RefreshAware, //!< TRR-style: rotates aggressors on observed refresh
+};
+
+/** Attacker name for labels/reports. */
+const char *attackerKindName(AttackerKind kind);
+
+/**
+ * One closed-loop attack scenario: every bank is driven by a live
+ * per-bank attacker source (no recorded baseline involved), hammering
+ * at the bank's maximum activation rate with the paper's Heavy/Medium/
+ * Light target mix.
+ */
+struct AdaptiveAttackSpec
+{
+    AttackerKind attacker = AttackerKind::Static;
+    AttackMode mode = AttackMode::Medium;
+    std::uint64_t kernel = 1;          //!< target-placement seed (1..12)
+    std::uint64_t seed = 42;           //!< per-bank stream seed base
+    std::uint32_t targetsPerBank = 4;  //!< initial aggressors per bank
+    std::uint64_t epochs = 2;          //!< scaled 64 ms epochs simulated
 };
 
 /** System shape presets used in the paper. */
@@ -113,6 +143,17 @@ class ExperimentRunner
     double evalEto(SystemPreset preset, const WorkloadSpec &workload,
                    const SchemeConfig &scheme);
 
+    /**
+     * CMRPO of a scheme against a closed-loop adaptive attack.  Unlike
+     * evalCmrpo there is no recorded baseline: every bank is driven by
+     * a live attacker source (RefreshAware sources observe each
+     * RefreshAction and re-aim), so the whole cell is one pure
+     * function of its spec - cheap, deterministic, and cache-free.
+     */
+    EvalResult evalAdaptive(SystemPreset preset,
+                            const AdaptiveAttackSpec &attack,
+                            const SchemeConfig &scheme);
+
     /** Records per core targeting ~1.2 scaled epochs for a profile. */
     std::uint64_t recordsFor(const WorkloadSpec &workload,
                              const SystemConfig &sys) const;
@@ -158,6 +199,10 @@ class ExperimentRunner
                                 std::uint64_t records,
                                 const AddressMapper &mapper) const;
     SchemeConfig scaledScheme(const SchemeConfig &scheme) const;
+    EvalResult evalFromReplay(const ReplayResult &replay,
+                              const SchemeConfig &scheme,
+                              double exec_seconds,
+                              const SystemConfig &sys) const;
     std::string cacheKey(SystemPreset preset,
                          const WorkloadSpec &workload) const;
     const BaselineEntry &baselineEntry(SystemPreset preset,

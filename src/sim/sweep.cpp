@@ -38,6 +38,21 @@ SweepRunner::runEto(const std::vector<SweepCell> &cells)
     return results;
 }
 
+std::vector<EvalResult>
+SweepRunner::runAdaptive(const std::vector<AdaptiveCell> &cells)
+{
+    std::vector<EvalResult> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results](std::size_t i) {
+            const AdaptiveCell &c = cells[i];
+            results[i] =
+                runner_.evalAdaptive(c.preset, c.attack, c.scheme);
+        },
+        jobs_);
+    return results;
+}
+
 std::vector<double>
 SweepRunner::runMetric(
     const std::vector<SweepCell> &cells,

@@ -41,6 +41,19 @@ struct SweepCell
     std::uint64_t tag = 0;
 };
 
+/**
+ * One closed-loop grid point (bench_fig14_adaptive): an adaptive
+ * attack scenario against a scheme.  No recorded baseline is involved,
+ * so these cells are pure functions of their spec and need no shared
+ * cache at all.
+ */
+struct AdaptiveCell
+{
+    SystemPreset preset = SystemPreset::DualCore2Ch;
+    AdaptiveAttackSpec attack;
+    SchemeConfig scheme;
+};
+
 /** Evaluates experiment grids concurrently. */
 class SweepRunner
 {
@@ -57,6 +70,15 @@ class SweepRunner
 
     /** ETO timing run for every cell; results[i] belongs to cells[i]. */
     std::vector<double> runEto(const std::vector<SweepCell> &cells);
+
+    /**
+     * Closed-loop adaptive-attack replay for every cell; results[i]
+     * belongs to cells[i].  Cells never touch the baseline cache, so
+     * the grid parallelizes embarrassingly and stays bit-identical at
+     * any job count.
+     */
+    std::vector<EvalResult> runAdaptive(
+        const std::vector<AdaptiveCell> &cells);
 
     /**
      * Arbitrary per-cell metric on the same pool and shared baseline

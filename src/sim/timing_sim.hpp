@@ -28,9 +28,6 @@
 namespace catsim
 {
 
-/** Sentinel inserted into recorded bank streams at epoch boundaries. */
-constexpr RowAddr kEpochMarker = 0xFFFFFFFFu;
-
 /** Full system configuration for one timing run. */
 struct SystemConfig
 {

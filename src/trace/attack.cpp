@@ -1,8 +1,5 @@
 #include "attack.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/logging.hpp"
 
 namespace catsim
@@ -43,7 +40,8 @@ AttackWorkload::AttackWorkload(const WorkloadProfile &benign,
                                std::uint64_t kernel_seed,
                                std::uint64_t stream_seed,
                                std::uint64_t length,
-                               std::uint32_t targets_per_bank)
+                               std::uint32_t targets_per_bank,
+                               AttackKernelKind kernel_kind)
     : geometry_(geometry),
       mapper_(mapper),
       mode_(mode),
@@ -56,39 +54,8 @@ AttackWorkload::AttackWorkload(const WorkloadProfile &benign,
     targets_.resize(geometry.totalBanks());
     for (auto &t : targets_)
         t.resize(targets_per_bank);
-    pickTargets(kernel_seed);
-}
-
-void
-AttackWorkload::pickTargets(std::uint64_t kernel_seed)
-{
-    // Target rows follow a Gaussian around a per-bank center chosen by
-    // the kernel (paper: "the distribution of target rows in the kernel
-    // attacks follows the Gaussian distribution").
-    Xoshiro256StarStar krng(kernel_seed * 0x9E3779B9ULL + 7);
-    const double sigma = geometry_.rowsPerBank / 64.0;
-    for (auto &bankTargets : targets_) {
-        const std::uint64_t center =
-            krng.nextBounded(geometry_.rowsPerBank);
-        for (auto &row : bankTargets) {
-            const double offset = krng.nextGaussian() * sigma;
-            std::int64_t r = static_cast<std::int64_t>(center)
-                             + static_cast<std::int64_t>(offset);
-            const auto n =
-                static_cast<std::int64_t>(geometry_.rowsPerBank);
-            r = ((r % n) + n) % n;
-            row = static_cast<RowAddr>(r);
-        }
-        // Duplicate targets would merely double-hammer one row; keep
-        // them distinct so the kernel stresses `targets_per_bank` rows.
-        std::sort(bankTargets.begin(), bankTargets.end());
-        for (std::size_t i = 1; i < bankTargets.size(); ++i) {
-            if (bankTargets[i] <= bankTargets[i - 1]) {
-                bankTargets[i] = (bankTargets[i - 1] + 2)
-                                 % geometry_.rowsPerBank;
-            }
-        }
-    }
+    makeAttackKernel(kernel_kind)
+        ->pickTargets(targets_, geometry_, kernel_seed);
 }
 
 void

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "trace/attack_kernel.hpp"
 #include "trace/workloads.hpp"
 
 namespace catsim
@@ -50,13 +51,18 @@ class AttackWorkload : public TraceStream
      * @param stream_seed Per-core stream seed.
      * @param length   Records before end-of-stream.
      * @param targets_per_bank Hammered rows per bank (default 4).
+     * @param kernel_kind Target-placement strategy (default the paper's
+     *                 per-bank Gaussian; MultiBank synchronizes one
+     *                 target set across all banks).
      */
     AttackWorkload(const WorkloadProfile &benign,
                    const DramGeometry &geometry,
                    const AddressMapper &mapper, AttackMode mode,
                    std::uint64_t kernel_seed, std::uint64_t stream_seed,
                    std::uint64_t length,
-                   std::uint32_t targets_per_bank = 4);
+                   std::uint32_t targets_per_bank = 4,
+                   AttackKernelKind kernel_kind =
+                       AttackKernelKind::Gaussian);
 
     bool next(TraceRecord &out) override;
     void rewind() override;
@@ -65,8 +71,6 @@ class AttackWorkload : public TraceStream
     const std::vector<RowAddr> &targets(std::uint32_t bank_flat) const;
 
   private:
-    void pickTargets(std::uint64_t kernel_seed);
-
     DramGeometry geometry_;
     const AddressMapper &mapper_;
     AttackMode mode_;

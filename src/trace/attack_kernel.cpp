@@ -1,0 +1,143 @@
+#include "attack_kernel.hpp"
+
+#include <algorithm>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+const char *
+attackKernelKindName(AttackKernelKind kind)
+{
+    switch (kind) {
+      case AttackKernelKind::Gaussian:
+        return "Gauss";
+      case AttackKernelKind::MultiBank:
+        return "MultiBank";
+    }
+    return "?";
+}
+
+AttackKernelKind
+parseAttackKernelKind(const std::string &name)
+{
+    const std::string s = asciiLower(name);
+    if (s == "gaussian" || s == "gauss")
+        return AttackKernelKind::Gaussian;
+    if (s == "multibank" || s == "multi-bank")
+        return AttackKernelKind::MultiBank;
+    CATSIM_FATAL("unknown attack kernel kind '", name,
+                 "' (want gaussian|multibank)");
+}
+
+namespace
+{
+
+/** The kernel-seed RNG used by the paper kernels (1..12). */
+Xoshiro256StarStar
+kernelRng(std::uint64_t kernel_seed)
+{
+    return Xoshiro256StarStar(kernel_seed * 0x9E3779B9ULL + 7);
+}
+
+bool
+contains(const std::vector<RowAddr> &rows, std::size_t n, RowAddr row)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rows[i] == row)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+drawGaussianTargets(std::vector<RowAddr> &rows, Xoshiro256StarStar &rng,
+                    std::uint64_t center, double sigma,
+                    RowAddr num_rows)
+{
+    if (rows.size() > static_cast<std::size_t>(num_rows))
+        CATSIM_FATAL("cannot place ", rows.size(),
+                     " distinct targets in ", num_rows, " rows");
+    const auto n = static_cast<std::int64_t>(num_rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        RowAddr row = 0;
+        // Gaussian placement can collide with an earlier target, which
+        // would merely double-hammer one row and silently shrink the
+        // effective targets-per-bank; re-draw until distinct.
+        bool placed = false;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            const double offset = rng.nextGaussian() * sigma;
+            std::int64_t r = static_cast<std::int64_t>(center)
+                             + static_cast<std::int64_t>(offset);
+            r = ((r % n) + n) % n;
+            row = static_cast<RowAddr>(r);
+            if (!contains(rows, i, row)) {
+                placed = true;
+                break;
+            }
+        }
+        // Degenerate sigma (or sigma ~ 0): probe linearly so placement
+        // always terminates with distinct rows.
+        while (!placed) {
+            row = (row + 1) % num_rows;
+            placed = !contains(rows, i, row);
+        }
+        rows[i] = row;
+    }
+    std::sort(rows.begin(), rows.end());
+}
+
+void
+GaussianKernel::pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                            const DramGeometry &geometry,
+                            std::uint64_t kernel_seed) const
+{
+    // Target rows follow a Gaussian around a per-bank center chosen by
+    // the kernel (paper: "the distribution of target rows in the kernel
+    // attacks follows the Gaussian distribution").
+    Xoshiro256StarStar krng = kernelRng(kernel_seed);
+    const double sigma = geometry.rowsPerBank / 64.0;
+    for (auto &bankTargets : targets) {
+        const std::uint64_t center =
+            krng.nextBounded(geometry.rowsPerBank);
+        drawGaussianTargets(bankTargets, krng, center, sigma,
+                            geometry.rowsPerBank);
+    }
+}
+
+void
+MultiBankCoordinatedKernel::pickTargets(
+    std::vector<std::vector<RowAddr>> &targets,
+    const DramGeometry &geometry, std::uint64_t kernel_seed) const
+{
+    if (targets.empty())
+        return;
+    // One placement, every bank: all ranks/channels hammer the same
+    // row numbers, so schemes sharing state across banks (and the
+    // per-bank trees' identical index bits) are stressed in lockstep.
+    Xoshiro256StarStar krng = kernelRng(kernel_seed);
+    const double sigma = geometry.rowsPerBank / 64.0;
+    const std::uint64_t center = krng.nextBounded(geometry.rowsPerBank);
+    drawGaussianTargets(targets[0], krng, center, sigma,
+                        geometry.rowsPerBank);
+    for (std::size_t b = 1; b < targets.size(); ++b)
+        targets[b] = targets[0];
+}
+
+std::unique_ptr<AttackKernel>
+makeAttackKernel(AttackKernelKind kind)
+{
+    switch (kind) {
+      case AttackKernelKind::Gaussian:
+        return std::make_unique<GaussianKernel>();
+      case AttackKernelKind::MultiBank:
+        return std::make_unique<MultiBankCoordinatedKernel>();
+    }
+    CATSIM_FATAL("unhandled attack kernel kind");
+}
+
+} // namespace catsim

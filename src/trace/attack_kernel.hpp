@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Target-placement strategies for row-hammer attack kernels.
+ *
+ * An AttackKernel decides *where* an attack hammers: it fills one
+ * target-row set per flat bank from a kernel seed.  The stream mixing
+ * (how often targets are hit, which benign traffic surrounds them)
+ * stays in AttackWorkload / the activation sources, so placement and
+ * intensity vary independently.
+ *
+ * Two placements are provided:
+ *  - GaussianKernel: the paper's Section VIII-D kernels - per-bank
+ *    targets drawn from a Gaussian around an independent random center.
+ *  - MultiBankCoordinatedKernel: one Gaussian target set replicated
+ *    into every bank of every rank/channel, so a coordinated attacker
+ *    stresses the same counter indices in all per-bank (or future
+ *    per-rank shared) counter pools simultaneously.
+ */
+
+#ifndef CATSIM_TRACE_ATTACK_KERNEL_HPP
+#define CATSIM_TRACE_ATTACK_KERNEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dram/geometry.hpp"
+
+namespace catsim
+{
+
+/** Which target-placement strategy an attack uses. */
+enum class AttackKernelKind
+{
+    Gaussian,  //!< per-bank Gaussian placement (paper Section VIII-D)
+    MultiBank, //!< identical targets synchronized across all banks
+};
+
+/** Kind name for labels/reports ("Gauss"/"MultiBank"). */
+const char *attackKernelKindName(AttackKernelKind kind);
+
+/** Parse "gaussian|multibank" (case-insensitive). */
+AttackKernelKind parseAttackKernelKind(const std::string &name);
+
+/** Strategy interface: place target rows for every flat bank. */
+class AttackKernel
+{
+  public:
+    virtual ~AttackKernel() = default;
+
+    /**
+     * Fill @p targets (one inner vector per flat bank, each pre-sized
+     * to the wanted targets-per-bank) with distinct, sorted target
+     * rows.  Deterministic in (@p geometry, @p kernel_seed).
+     */
+    virtual void pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                             const DramGeometry &geometry,
+                             std::uint64_t kernel_seed) const = 0;
+
+    virtual AttackKernelKind kind() const = 0;
+};
+
+/** Paper kernels: per-bank Gaussian placement around a random center. */
+class GaussianKernel : public AttackKernel
+{
+  public:
+    void pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                     const DramGeometry &geometry,
+                     std::uint64_t kernel_seed) const override;
+
+    AttackKernelKind
+    kind() const override
+    {
+        return AttackKernelKind::Gaussian;
+    }
+};
+
+/** One Gaussian target set replicated into every bank. */
+class MultiBankCoordinatedKernel : public AttackKernel
+{
+  public:
+    void pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                     const DramGeometry &geometry,
+                     std::uint64_t kernel_seed) const override;
+
+    AttackKernelKind
+    kind() const override
+    {
+        return AttackKernelKind::MultiBank;
+    }
+};
+
+/** Build a kernel strategy by kind. */
+std::unique_ptr<AttackKernel> makeAttackKernel(AttackKernelKind kind);
+
+/**
+ * Fill one bank's target set: distinct rows from a Gaussian with the
+ * given center and sigma, re-drawing on collision (a duplicate would
+ * silently shrink the effective targets-per-bank).  Exposed for the
+ * activation sources, which place targets for a single bank.
+ */
+void drawGaussianTargets(std::vector<RowAddr> &rows,
+                         Xoshiro256StarStar &rng, std::uint64_t center,
+                         double sigma, RowAddr num_rows);
+
+} // namespace catsim
+
+#endif // CATSIM_TRACE_ATTACK_KERNEL_HPP

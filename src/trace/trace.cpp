@@ -8,6 +8,22 @@
 namespace catsim
 {
 
+bool
+parseTraceAddr(const std::string &token, Addr *out)
+{
+    // stoull would wrap a signed token ("-5" -> 0xFFF...FB) instead
+    // of failing; addresses are unsigned, so no sign is legal.
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return false;
+    try {
+        std::size_t pos = 0;
+        *out = std::stoull(token, &pos, 0);
+        return pos == token.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
 std::size_t
 writeTraceFile(const std::string &path, TraceStream &stream)
 {
@@ -46,7 +62,9 @@ readTraceFile(const std::string &path)
         if (op != 'R' && op != 'W')
             CATSIM_FATAL("bad op '", op, "' at line ", lineno);
         r.isWrite = (op == 'W');
-        r.addr = std::stoull(addr, nullptr, 0);
+        if (!parseTraceAddr(addr, &r.addr))
+            CATSIM_FATAL("bad address '", addr, "' at line ", lineno,
+                         " in '", path, "'");
         trace.push(r);
     }
     return trace;

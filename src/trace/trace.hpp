@@ -75,6 +75,13 @@ class VectorTrace : public TraceStream
 };
 
 /**
+ * Strict whole-token address parse (base auto-detected): returns
+ * false on partial junk like "0x123junk", which std::stoull alone
+ * would silently truncate.  Shared by every trace dialect reader.
+ */
+bool parseTraceAddr(const std::string &token, Addr *out);
+
+/**
  * Write a stream to a simple text format: one "gap R|W hexaddr" per
  * line.  Returns the number of records written.
  */

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the pluggable activation sources and the replaySources
+ * engine: recorded-stream equivalence with the historical replay
+ * loop, synthetic generator determinism, and the closed-loop
+ * refresh-aware attacker's feedback behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/activation_sim.hpp"
+#include "sim/activation_source.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+constexpr RowAddr kRows = 4096;
+
+SchemeConfig
+drcatConfig()
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 32;
+    cfg.maxLevels = 8;
+    cfg.threshold = 512;
+    return cfg;
+}
+
+/** Drain a source into (rows, epoch positions) for inspection. */
+struct Drained
+{
+    std::vector<RowAddr> rows;
+    std::vector<std::size_t> epochAfter; //!< row count at each epoch
+};
+
+Drained
+drain(ActivationSource &src)
+{
+    Drained d;
+    for (;;) {
+        const RowAddr *rows = nullptr;
+        std::size_t n = 0;
+        const SourceChunk c = src.next(&rows, &n);
+        if (c == SourceChunk::End)
+            break;
+        if (c == SourceChunk::Epoch) {
+            d.epochAfter.push_back(d.rows.size());
+            continue;
+        }
+        d.rows.insert(d.rows.end(), rows, rows + n);
+    }
+    return d;
+}
+
+void
+expectStatsEqual(const SchemeStats &a, const SchemeStats &b)
+{
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.refreshEvents, b.refreshEvents);
+    EXPECT_EQ(a.victimRowsRefreshed, b.victimRowsRefreshed);
+    EXPECT_EQ(a.sramAccesses, b.sramAccesses);
+    EXPECT_EQ(a.prngBits, b.prngBits);
+    EXPECT_EQ(a.splits, b.splits);
+    EXPECT_EQ(a.merges, b.merges);
+    EXPECT_EQ(a.epochResets, b.epochResets);
+    EXPECT_EQ(a.counterDramReads, b.counterDramReads);
+    EXPECT_EQ(a.counterDramWrites, b.counterDramWrites);
+}
+
+} // namespace
+
+TEST(RecordedStreamSource, ReproducesMarkerDelimitedChunks)
+{
+    std::vector<RowAddr> stream{1, 2, 3, kEpochMarker, 4,
+                                kEpochMarker, kEpochMarker, 5};
+    RecordedStreamSource src(stream);
+
+    const RowAddr *rows = nullptr;
+    std::size_t n = 0;
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(rows[0], 1u);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Epoch);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(rows[0], 4u);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Epoch);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(n, 0u); // empty segment between adjacent markers
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Epoch);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(rows[0], 5u);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::End);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::End);
+}
+
+TEST(ReplaySources, BitIdenticalToReplayActivations)
+{
+    // Adversarial-ish streams: hammer pairs, scattered rows, empty
+    // streams, marker edge cases.
+    std::vector<std::vector<RowAddr>> streams(4);
+    Xoshiro256StarStar rng(7);
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+        streams[0].push_back(
+            static_cast<RowAddr>(rng.nextBounded(kRows)));
+        streams[1].push_back(i % 2 ? 100 : 102);
+        if (i % 5000 == 4999) {
+            streams[0].push_back(kEpochMarker);
+            streams[1].push_back(kEpochMarker);
+        }
+    }
+    streams[2] = {kEpochMarker};
+    // streams[3] stays empty.
+
+    const SchemeConfig cfg = drcatConfig();
+    const ReplayResult direct = replayActivations(streams, cfg, kRows);
+
+    std::vector<std::unique_ptr<ActivationSource>> sources;
+    for (const auto &s : streams)
+        sources.push_back(std::make_unique<RecordedStreamSource>(s));
+    const ReplayResult viaSources = replaySources(sources, cfg, kRows);
+
+    EXPECT_EQ(direct.banks, viaSources.banks);
+    EXPECT_EQ(direct.epochs, viaSources.epochs);
+    expectStatsEqual(direct.stats, viaSources.stats);
+}
+
+TEST(SyntheticAttackSource, DeterministicEpochsAndMix)
+{
+    AttackSourceParams p;
+    p.numRows = kRows;
+    p.targets = {100, 200, 300, 400};
+    p.targetFraction = 0.5;
+    p.actsPerEpoch = 10000;
+    p.epochs = 3;
+    p.seed = 11;
+
+    SyntheticAttackSource a(p);
+    SyntheticAttackSource b(p);
+    const Drained da = drain(a);
+    const Drained db = drain(b);
+
+    EXPECT_EQ(da.rows, db.rows);
+    EXPECT_EQ(da.rows.size(), 30000u);
+    ASSERT_EQ(da.epochAfter.size(), 3u);
+    EXPECT_EQ(da.epochAfter[0], 10000u);
+    EXPECT_EQ(da.epochAfter[2], 30000u);
+
+    // The target mix must match the configured fraction.
+    std::size_t onTarget = 0;
+    for (RowAddr r : da.rows)
+        onTarget += (r == 100 || r == 200 || r == 300 || r == 400);
+    const double share =
+        static_cast<double>(onTarget) / static_cast<double>(
+            da.rows.size());
+    EXPECT_NEAR(share, 0.5, 0.02);
+}
+
+TEST(RefreshAwareAttackerSource, RotatesOnObservedRefresh)
+{
+    AttackSourceParams p;
+    p.numRows = kRows;
+    p.targets = {100, 200};
+    p.targetFraction = 1.0; // pure hammer, deterministic order
+    p.actsPerEpoch = 100;
+    p.epochs = 1;
+    p.seed = 3;
+
+    RefreshAwareAttackerSource src(p);
+    const RowAddr *rows = nullptr;
+    std::size_t n = 0;
+
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    ASSERT_EQ(n, 1u);
+    EXPECT_EQ(rows[0], 100u);
+
+    // No refresh triggered: aggressors stay put.
+    src.onRefreshAction(rows[0], RefreshAction{});
+    EXPECT_EQ(src.rotations(), 0u);
+    EXPECT_EQ(src.aggressors()[0], 100u);
+
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(rows[0], 200u);
+    // Defense refreshes victims around row 200: the attacker must
+    // re-aim that aggressor somewhere else.
+    RefreshAction act;
+    act.rowCount = 2;
+    act.lo = 199;
+    act.hi = 201;
+    src.onRefreshAction(rows[0], act);
+    EXPECT_EQ(src.rotations(), 1u);
+    EXPECT_EQ(src.aggressors()[0], 100u);
+    EXPECT_NE(src.aggressors()[1], 200u);
+
+    // The rotated aggressor is hammered at its new location.
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(rows[0], 100u);
+    ASSERT_EQ(src.next(&rows, &n), SourceChunk::Rows);
+    EXPECT_EQ(rows[0], src.aggressors()[1]);
+}
+
+TEST(RefreshAwareAttackerSource, ClosedLoopBeatsStaticOnTreeSchemes)
+{
+    // Against a CAT tree, re-aiming after every observed refresh must
+    // force strictly more victim-row refreshes than blind hammering:
+    // each rotation lands in a coarse (unsplit) region whose whole
+    // span is refreshed at the next trigger.
+    AttackSourceParams p;
+    p.numRows = kRows;
+    p.targets = {100, 900, 1700, 2500};
+    p.targetFraction = 0.5;
+    p.actsPerEpoch = 50000;
+    p.epochs = 2;
+    p.seed = 21;
+
+    const SchemeConfig cfg = drcatConfig();
+
+    std::vector<std::unique_ptr<ActivationSource>> openLoop;
+    openLoop.push_back(std::make_unique<SyntheticAttackSource>(p));
+    const ReplayResult statics = replaySources(openLoop, cfg, kRows);
+
+    std::vector<std::unique_ptr<ActivationSource>> closedLoop;
+    closedLoop.push_back(
+        std::make_unique<RefreshAwareAttackerSource>(p));
+    auto *attacker = static_cast<RefreshAwareAttackerSource *>(
+        closedLoop[0].get());
+    const ReplayResult adaptive = replaySources(closedLoop, cfg, kRows);
+
+    EXPECT_GT(attacker->rotations(), 0u);
+    EXPECT_EQ(statics.stats.activations, adaptive.stats.activations);
+    EXPECT_GT(adaptive.stats.victimRowsRefreshed,
+              statics.stats.victimRowsRefreshed);
+}
+
+} // namespace catsim

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -63,6 +64,89 @@ TEST(Attack, TargetsAreDistinctRows)
                                atk.targets(b).end());
         EXPECT_EQ(rows.size(), 4u);
     }
+}
+
+TEST(Attack, GaussianCollisionsAreRedrawnDistinct)
+{
+    // Regression: Gaussian placement used to sort-and-bump duplicates,
+    // which could silently shrink the effective targets-per-bank.  A
+    // tiny bank with many targets makes collisions near-certain
+    // (sigma = rows/64 = 1, 16 targets in 64 rows), so every kernel
+    // must still come back with all-distinct target sets.
+    DramGeometry tiny;
+    tiny.channels = 1;
+    tiny.ranksPerChannel = 1;
+    tiny.banksPerRank = 2;
+    tiny.rowsPerBank = 64;
+    const std::uint32_t perBank = 16;
+    for (std::uint64_t kernel = 1; kernel <= 12; ++kernel) {
+        std::vector<std::vector<RowAddr>> targets(tiny.totalBanks());
+        for (auto &t : targets)
+            t.resize(perBank);
+        GaussianKernel().pickTargets(targets, tiny, kernel);
+        for (std::uint32_t b = 0; b < tiny.totalBanks(); ++b) {
+            std::set<RowAddr> rows(targets[b].begin(),
+                                   targets[b].end());
+            EXPECT_EQ(rows.size(), perBank)
+                << "kernel " << kernel << " bank " << b;
+            for (RowAddr r : rows)
+                EXPECT_LT(r, tiny.rowsPerBank);
+        }
+    }
+}
+
+TEST(Attack, GaussianKernelMatchesLegacyPlacementWhenNoCollision)
+{
+    // The strategy extraction must not move the paper kernels: at the
+    // shipped geometries no kernel collides, so targets are exactly
+    // the historical draws (center via nextBounded, offsets via
+    // nextGaussian, sorted).
+    Env env;
+    std::vector<std::vector<RowAddr>> targets(
+        env.geometry.totalBanks());
+    for (auto &t : targets)
+        t.resize(4);
+    GaussianKernel().pickTargets(targets, env.geometry, 1);
+
+    Xoshiro256StarStar krng(1 * 0x9E3779B9ULL + 7);
+    const double sigma = env.geometry.rowsPerBank / 64.0;
+    for (std::uint32_t b = 0; b < env.geometry.totalBanks(); ++b) {
+        const std::uint64_t center =
+            krng.nextBounded(env.geometry.rowsPerBank);
+        std::vector<RowAddr> expect(4);
+        for (auto &row : expect) {
+            const double offset = krng.nextGaussian() * sigma;
+            std::int64_t r = static_cast<std::int64_t>(center)
+                             + static_cast<std::int64_t>(offset);
+            const auto n =
+                static_cast<std::int64_t>(env.geometry.rowsPerBank);
+            r = ((r % n) + n) % n;
+            row = static_cast<RowAddr>(r);
+        }
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(targets[b], expect) << "bank " << b;
+    }
+}
+
+TEST(Attack, MultiBankKernelSynchronizesTargetsAcrossBanks)
+{
+    Env env;
+    AttackWorkload atk(findWorkload("comm2"), env.geometry, env.mapper,
+                       AttackMode::Heavy, 5, 42, 1000, 4,
+                       AttackKernelKind::MultiBank);
+    const std::vector<RowAddr> &first = atk.targets(0);
+    std::set<RowAddr> distinct(first.begin(), first.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    for (std::uint32_t b = 1; b < env.geometry.totalBanks(); ++b)
+        EXPECT_EQ(atk.targets(b), first) << "bank " << b;
+}
+
+TEST(Attack, KernelKindParse)
+{
+    EXPECT_EQ(parseAttackKernelKind("gaussian"),
+              AttackKernelKind::Gaussian);
+    EXPECT_EQ(parseAttackKernelKind("MultiBank"),
+              AttackKernelKind::MultiBank);
 }
 
 TEST(Attack, DifferentKernelsPickDifferentTargets)

@@ -147,6 +147,45 @@ TEST(Sweep, RunMetricParallelMatchesSerial)
     EXPECT_EQ(expected[2], 3.0 * expected[0]);
 }
 
+TEST(Sweep, AdaptiveParallelMatchesSerialWithoutBaselines)
+{
+    // Closed-loop cells must be pure functions of their spec: same
+    // results at any job count, and no recorded baseline is ever
+    // computed (the whole point of the closed-loop path).
+    std::vector<AdaptiveCell> cells;
+    for (AttackerKind a : {AttackerKind::Static,
+                           AttackerKind::MultiBank,
+                           AttackerKind::RefreshAware}) {
+        for (SchemeKind kind : {SchemeKind::Drcat,
+                                SchemeKind::CounterCache}) {
+            AdaptiveCell c;
+            c.attack.attacker = a;
+            c.attack.kernel = 2;
+            c.attack.epochs = 1;
+            c.scheme.kind = kind;
+            c.scheme.numCounters =
+                kind == SchemeKind::CounterCache ? 2048 : 64;
+            c.scheme.maxLevels = 11;
+            c.scheme.threshold = 32768;
+            cells.push_back(c);
+        }
+    }
+
+    SweepRunner serial(kTestScale, 1);
+    const auto expected = serial.runAdaptive(cells);
+    EXPECT_EQ(serial.runner().baselineComputeCount(), 0u);
+
+    SweepRunner parallel4(kTestScale, 4);
+    const auto got = parallel4.runAdaptive(cells);
+    EXPECT_EQ(parallel4.runner().baselineComputeCount(), 0u);
+
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        expectBitIdentical(expected[i], got[i], i);
+        EXPECT_GT(got[i].cmrpo, 0.0) << "cell " << i;
+    }
+}
+
 TEST(Sweep, BaselineComputedOnceUnderContention)
 {
     // Eight cells hammer the same (preset, workload) concurrently;
