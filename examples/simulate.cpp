@@ -8,6 +8,13 @@
  *            workload=black system=dual2ch scale=0.1 seed=42
  *            attack=none|heavy|medium|light kernel=1 p=0.002 eto=1
  *            kernelkind=gaussian|multibank
+ *            eviction=legacy|lru|lfu|random bankspool=K
+ *
+ * `counters` may be any M >= 2 (the CAT pre-splits unevenly for
+ * non-powers of two); `eviction` selects the counter-cache victim
+ * policy; `bankspool=K` (K > 1, CAT schemes) shares one pool of
+ * K x counters among each group of K consecutive banks - set K to the
+ * geometry's banks-per-rank (8) for per-rank pools.
  *   simulate trace=file.trc traceformat=native|dramsim
  *            epochrecords=N scheme=... threshold=...
  *
@@ -49,6 +56,10 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cfg.getUint("threshold", 32768));
     scheme.praProbability = cfg.getDouble("p", 0.002);
     scheme.lfsrPrng = cfg.getBool("lfsr", false);
+    scheme.evictionPolicy =
+        parseEvictionPolicy(cfg.getString("eviction", "legacy"));
+    scheme.banksPerPool =
+        static_cast<std::uint32_t>(cfg.getUint("bankspool", 0));
 
     SystemPreset preset = SystemPreset::DualCore2Ch;
     const std::string system = cfg.getString("system", "dual2ch");

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Markdown link/section-reference checker.
+
+Guards against the dead-reference class of bug PR 1 fixed by hand
+(source comments and docs pointing at sections that do not exist).
+Checks, over docs/*.md plus the top-level README.md and ROADMAP.md:
+
+1. Inline links ``[text](target)``: a relative target must resolve to
+   an existing file or directory; a ``#anchor`` suffix (or intra-doc
+   ``#anchor`` link) must match a heading in the target document under
+   GitHub's slug rules.  http(s)/mailto links are not fetched (CI has
+   no business depending on the network) - only recorded.
+2. Bare section references of the form ``DESIGN.md Section 7``,
+   ``docs/ARCHITECTURE.md §2b`` etc.: the referenced document must
+   contain a correspondingly numbered section heading
+   (``## Section 7 ...`` or ``## 2b. ...``).
+
+Usage:
+    scripts/check_links.py [repo-root]
+
+Exit status: 0 when everything resolves, 1 on any dead link/reference,
+2 on usage errors.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# "DESIGN.md Section 7", "docs/ARCHITECTURE.md §2b", "DESIGN.md §4",
+# and the backtick-quoted link-text form "[`docs/DESIGN.md` §9]".
+SECTION_RE = re.compile(
+    r"([\w./-]+\.md)`?\s+(?:Section|§)\s*([0-9]+[a-z]?)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+# "## Section 7 — ..." and "## 2b. ..." both yield a section id.
+SECTION_HEADING_RE = re.compile(
+    r"^#{1,6}\s+(?:Section\s+)?([0-9]+[a-z]?)[.\s—-]")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces.
+
+    Backticks/asterisks/tildes are markdown formatting (absent from
+    the rendered heading, hence from the anchor); underscores are
+    literal text and survive - '## run_benches.sh' anchors as
+    #run_benchessh.
+    """
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*~]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"[\s]+", "-", slug.strip())
+
+
+def doc_headings(path: Path):
+    slugs, sections = set(), set()
+    seen = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        # Repeated headings get -1, -2 ... suffixes on GitHub.
+        if slug in seen:
+            seen[slug] += 1
+            slugs.add(f"{slug}-{seen[slug]}")
+        else:
+            seen[slug] = 0
+            slugs.add(slug)
+        s = SECTION_HEADING_RE.match(line)
+        if s:
+            sections.add(s.group(1))
+    return slugs, sections
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+
+    docs = sorted((root / "docs").glob("*.md"))
+    for name in ("README.md", "ROADMAP.md"):
+        if (root / name).is_file():
+            docs.append(root / name)
+    if not docs:
+        print("error: no markdown docs found", file=sys.stderr)
+        return 2
+
+    cache = {}
+
+    def headings_of(path: Path):
+        if path not in cache:
+            cache[path] = doc_headings(path)
+        return cache[path]
+
+    failures = 0
+    checked_links = checked_sections = external = 0
+    for doc in docs:
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(root)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    external += 1  # http(s)/mailto: not fetched
+                    continue
+                checked_links += 1
+                raw, _, anchor = target.partition("#")
+                dest = doc if not raw else \
+                    (doc.parent / raw).resolve()
+                if not dest.exists():
+                    print(f"DEAD {rel}:{lineno}: ({target}) - "
+                          f"no such file {raw}")
+                    failures += 1
+                    continue
+                if anchor and dest.suffix == ".md":
+                    slugs, _ = headings_of(dest)
+                    if anchor not in slugs:
+                        print(f"DEAD {rel}:{lineno}: ({target}) - "
+                              f"no heading #{anchor}")
+                        failures += 1
+            for name, section in SECTION_RE.findall(line):
+                base = Path(name).name
+                # Resolve "DESIGN.md" / "docs/DESIGN.md" relative to
+                # the doc, its directory, or the repo's docs/.
+                candidates = [doc.parent / name, root / name,
+                              root / "docs" / base]
+                dest = next((c for c in candidates if c.is_file()),
+                            None)
+                if dest is None:
+                    print(f"DEAD {rel}:{lineno}: section reference "
+                          f"'{name} §{section}' - no such document")
+                    failures += 1
+                    continue
+                checked_sections += 1
+                _, sections = headings_of(dest.resolve())
+                if section not in sections:
+                    print(f"DEAD {rel}:{lineno}: '{base} §{section}' "
+                          f"- document has sections "
+                          f"{sorted(sections)}")
+                    failures += 1
+
+    print(f"checked {len(docs)} docs: {checked_links} local links, "
+          f"{checked_sections} section references "
+          f"({external} external links not fetched), "
+          f"{failures} dead")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,11 @@ MemoryController::MemoryController(DramSystem &dram,
     : dram_(dram), mapper_(mapper)
 {
     const auto &geom = dram.geometry();
-    schemes_.reserve(geom.totalBanks());
-    for (std::uint32_t b = 0; b < geom.totalBanks(); ++b) {
-        SchemeConfig cfg = scheme_config;
-        // Per-bank PRNG seeds keep PRA decisions independent per bank.
-        cfg.seed = scheme_config.seed * 1000003ULL + b;
-        schemes_.push_back(makeScheme(cfg, geom.rowsPerBank));
-    }
+    // Per-bank PRNG seeds keep PRA decisions independent per bank;
+    // rank-pooled CAT configs share one counter budget per group of
+    // banksPerPool consecutive banks.
+    schemes_ = makeBankSchemes(scheme_config, geom.rowsPerBank,
+                               geom.totalBanks());
     writeQ_.resize(geom.channels);
 }
 

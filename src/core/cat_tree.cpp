@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "core/shared_pool.hpp"
 
 namespace catsim
 {
@@ -48,14 +49,25 @@ CatTree::CatTree(Params params) : params_(std::move(params))
 {
     const auto M = params_.numCounters;
     const auto L = params_.maxLevels;
-    if (!isPow2(M) || M < 2)
-        CATSIM_FATAL("CAT counters must be a power of two >= 2, got ", M);
+    if (M < 2)
+        CATSIM_FATAL("CAT needs at least 2 counters, got ", M);
     if (!isPow2(params_.numRows))
         CATSIM_FATAL("CAT rows must be a power of two, got ",
                      params_.numRows);
-    if (L < log2u(M) + 1)
-        CATSIM_FATAL("CAT levels L=", L, " must exceed log2(M)=",
-                     log2u(M));
+    // The initial balanced shape is defined by presplitCounters (the
+    // per-bank nominal M when a rank-shared pool raises the capacity),
+    // which defaults to the capacity itself.
+    const std::uint32_t shapeM =
+        params_.presplitCounters ? params_.presplitCounters : M;
+    if (shapeM < 2 || shapeM > M)
+        CATSIM_FATAL("CAT pre-split counters (", shapeM,
+                     ") must be in [2, M=", M, "]");
+    // ceil(log2(shapeM)): the depth budget the initial shape needs one
+    // level of growth beyond (identical to log2(M) for a power of two).
+    const std::uint32_t cl2 = log2u(shapeM) + (isPow2(shapeM) ? 0 : 1);
+    if (L < cl2 + 1)
+        CATSIM_FATAL("CAT levels L=", L, " must exceed ceil(log2(M))=",
+                     cl2);
     if (params_.numRows < (1u << (L - 1)))
         CATSIM_FATAL("CAT needs at least 2^(L-1) rows; got ",
                      params_.numRows, " for L=", L);
@@ -74,10 +86,22 @@ CatTree::CatTree(Params params) : params_(std::move(params))
             CATSIM_FATAL("split threshold ", t, " exceeds the refresh "
                          "threshold ", params_.refreshThreshold);
 
-    presplitDepth_ = log2u(M) - 1;
+    // P = floor(shapeM/2) initial leaves; a non-power-of-two P puts
+    // the (P - 2^d) lowest-address prefixes one level deeper than
+    // d = floor(log2 P) (uneven deepest pre-split level).
+    presplitLeaves_ = shapeM / 2;
+    presplitDepth_ = log2u(presplitLeaves_);
+    presplitExtra_ = presplitLeaves_ - (1u << presplitDepth_);
     rowBits_ = log2u(params_.numRows);
     jumpShift_ = rowBits_ - presplitDepth_;
+    pool_ = params_.sharedPool;
     reset();
+}
+
+CatTree::~CatTree()
+{
+    if (pool_ != nullptr)
+        pool_->release(poolHeld_);
 }
 
 void
@@ -111,8 +135,25 @@ CatTree::reset()
     rootIsLeaf_ = true;
     activeCounters_ = 1;
     counterInUse_[0] = true;
+    // Sized before presplit: an uneven pre-split splits leaves AT the
+    // jump depth, and splitLeaf mirrors those into the jump table
+    // (rebuildJumpTable below recomputes every entry regardless).
+    jump_.assign(std::size_t{1} << presplitDepth_, 0);
 
-    presplit(kNone, false, 0, 0, presplitDepth_, 0);
+    if (pool_ != nullptr) {
+        // Re-baseline the pool charge: everything this tree held goes
+        // back, then the root counter is taken again (presplit charges
+        // the other initial leaves through allocCounter).
+        pool_->release(poolHeld_);
+        poolHeld_ = 0;
+        if (!pool_->tryAcquire())
+            CATSIM_FATAL("shared counter pool (capacity ",
+                         pool_->capacity(),
+                         ") cannot cover the initial trees");
+        poolHeld_ = 1;
+    }
+
+    presplit(kNone, false, 0, 0, 0);
     rebuildJumpTable();
     updateCanGrow();
 }
@@ -125,10 +166,13 @@ CatTree::resetCountsOnly()
 
 void
 CatTree::presplit(std::uint32_t parent, bool right, std::uint32_t counter,
-                  std::uint32_t depth, std::uint32_t target_depth,
-                  RowAddr lo)
+                  std::uint32_t depth, RowAddr lo)
 {
-    if (depth >= target_depth)
+    // The subtree's target depth is read off its lowest prefix: the
+    // deeper prefixes are the lowest-address ones, so the first prefix
+    // under a subtree carries its maximum (and the split below is
+    // needed exactly when the subtree contains any deeper target).
+    if (depth >= presplitTargetDepth(lo))
         return;
     Walk w;
     w.counter = counter;
@@ -140,8 +184,8 @@ CatTree::presplit(std::uint32_t parent, bool right, std::uint32_t counter,
     const std::uint32_t ni = allocInode();
     splitLeaf(w, nc, ni);
     const RowAddr half = (params_.numRows >> depth) / 2;
-    presplit(ni, false, counter, depth + 1, target_depth, lo);
-    presplit(ni, true, nc, depth + 1, target_depth, lo + half);
+    presplit(ni, false, counter, depth + 1, lo);
+    presplit(ni, true, nc, depth + 1, lo + half);
 }
 
 void
@@ -165,6 +209,16 @@ CatTree::allocCounter()
 {
     if (freeCounters_.empty())
         CATSIM_PANIC("CAT counter free list exhausted");
+    if (pool_ != nullptr) {
+        // Growth paths check pool availability up front, so a failed
+        // acquire can only mean the pool cannot cover the pre-split
+        // trees of its banks - a configuration error.
+        if (!pool_->tryAcquire())
+            CATSIM_FATAL("shared counter pool (capacity ",
+                         pool_->capacity(),
+                         ") cannot cover the banks' initial trees");
+        ++poolHeld_;
+    }
     const std::uint32_t c = freeCounters_.back();
     freeCounters_.pop_back();
     updateCanGrow();
@@ -296,12 +350,19 @@ CatTree::access(RowAddr row)
     res.leafDepth = depth;
     // The jump replaces the pre-split levels; the remaining descent
     // costs one access per level, the counter a read and a write
-    // (Section IV-C).
-    res.sramAccesses = (depth - presplitDepth_) + 2;
+    // (Section IV-C).  A rank-pooled tree pays one more per activation
+    // for the bank-select into the shared array (DESIGN.md Section 9).
+    res.sramAccesses = (depth - presplitDepth_) + 2
+                       + (pool_ != nullptr ? 1u : 0u);
 
-    // depth < rowBits_ <=> the group spans more than one row.
+    // depth < rowBits_ <=> the group spans more than one row.  Growth
+    // additionally needs a free counter in the rank pool when one is
+    // attached; the pool can change between this bank's activations
+    // (other banks allocate from it), so it is consulted live instead
+    // of being folded into the cached canGrow_.
     const bool splittable =
-        depth + 1 < params_.maxLevels && depth < rowBits_ && canGrow_;
+        depth + 1 < params_.maxLevels && depth < rowBits_ && canGrow_
+        && (pool_ == nullptr || pool_->available() != 0);
     const std::uint32_t thr = splittable
         ? thresholdAt(depth)
         : params_.refreshThreshold;
@@ -319,6 +380,8 @@ CatTree::access(RowAddr row)
         splitLeaf(w, nc, ni);
         ++splits_;
         res.didSplit = true;
+        if (pool_ != nullptr)
+            ++res.sramAccesses; // shared free-list update
         return res;
     }
 
@@ -345,8 +408,11 @@ CatTree::access(RowAddr row)
             ++hotW;
         ++refreshOrdinal_;
         setWeight(w.counter, static_cast<std::uint8_t>(hotW));
-        if (hotW == 3)
+        if (hotW == 3) {
             res.didReconfigure = tryReconfigure(w);
+            if (res.didReconfigure && pool_ != nullptr)
+                ++res.sramAccesses; // shared free-list update
+        }
     }
     return res;
 }
@@ -416,6 +482,12 @@ CatTree::tryReconfigure(const Walk &hot)
     setWeight(drop, 0);
     counts_[drop] = 0;
     freeCounters_.push_back(drop);
+    if (pool_ != nullptr) {
+        // The freed counter goes back to the rank before the split
+        // below re-acquires it, so a full pool still reconfigures.
+        pool_->release(1);
+        --poolHeld_;
+    }
     updateCanGrow();
     --activeCounters_;
     ++merges_;
@@ -527,6 +599,14 @@ CatTree::walkInvariants(std::uint32_t slot, RowAddr lo, RowAddr hi,
             return fail("weight stamped after the current ordinal");
         if (!params_.enableWeights && materializedWeight(ptr) != 0)
             return fail("weights used without DRCAT mode");
+        // Brute-force hot-path oracle: the jump+quad lookup must land
+        // on exactly this leaf for the corner rows of its range (the
+        // recursive descent above is the ground truth).  This is what
+        // pins the uneven non-power-of-two pre-split shapes, where the
+        // jump table mixes leaf and inode entries.
+        if (leafSlotFor(lo) != slot || leafSlotFor(hi) != slot
+            || leafSlotFor(lo + (hi - lo) / 2) != slot)
+            return fail("leafSlotFor disagrees with the tree walk");
         return true;
     }
 
@@ -621,6 +701,8 @@ CatTree::checkInvariants(std::string *why) const
         return fail("inode free list inconsistent");
     if (used != leaves - 1 && !(rootIsLeaf_ && used == 0))
         return fail("binary tree shape violated (inodes != leaves-1)");
+    if (pool_ != nullptr && poolHeld_ != activeCounters_)
+        return fail("pool charge disagrees with active counters");
 
     // The jump table must match a from-the-root walk for every prefix.
     const std::uint32_t entries = 1u << presplitDepth_;

@@ -10,6 +10,24 @@
  * refreshes every row in the group plus the two rows adjacent to the
  * group, then resets the counter.
  *
+ * M need not be a power of two.  The initial balanced shape always has
+ * P = floor(M/2) leaves; when P is not a power of two the deepest
+ * pre-split level is uneven: with d = floor(log2 P), the (P - 2^d)
+ * lowest-address prefixes carry leaves one level deeper (depth d+1)
+ * than the rest (depth d), so the leaf row-groups differ by a factor
+ * of two across the bank.  Every group is still an aligned
+ * power-of-two span, so the walk arithmetic is unchanged; only the
+ * immutable prefix (and with it the jump table and the merge floor)
+ * shrinks to d levels.  For a power-of-two M this degenerates to the
+ * paper's shape (M/2 leaves, all at depth log2(M)-1) bit for bit.
+ *
+ * A tree can also draw its growth from a rank-shared counter budget
+ * (`Params::sharedPool`, see shared_pool.hpp): splits then require a
+ * free counter in the *pool*, not just in the local free list, and
+ * merges/resets return counters to it.  Sharing costs one extra SRAM
+ * access per activation plus one per split/merge (rank arbitration and
+ * shared free-list upkeep), charged through `sramAccesses`.
+ *
  * Storage is a flattened structure-of-arrays layout built around the
  * invariant the paper's SRAM sizing relies on (Section IV-C): the
  * balanced pre-split prefix of lambda = log2(M) levels is never merged
@@ -50,6 +68,8 @@
 namespace catsim
 {
 
+class SharedCounterPool;
+
 /** Adaptive tree of activation counters for one DRAM bank. */
 class CatTree
 {
@@ -58,12 +78,25 @@ class CatTree
     struct Params
     {
         RowAddr numRows = 65536;           //!< N (power of two)
-        std::uint32_t numCounters = 64;    //!< M (power of two >= 2)
+        std::uint32_t numCounters = 64;    //!< M (any value >= 2)
         std::uint32_t maxLevels = 11;      //!< L
         std::uint32_t refreshThreshold = 32768; //!< T
         /** Split threshold per depth, size L, last element == T. */
         std::vector<std::uint32_t> splitThresholds;
         bool enableWeights = false;        //!< DRCAT reconfiguration
+        /**
+         * Counters defining the initial balanced shape (pre-split
+         * leaves = presplitCounters/2); 0 means numCounters.  A
+         * rank-pooled tree keeps its per-bank shape here while
+         * numCounters holds the whole pool's capacity.
+         */
+        std::uint32_t presplitCounters = 0;
+        /**
+         * Optional rank-shared counter budget (not owned; must outlive
+         * the tree).  Splits require a free pool counter; merges,
+         * resets and destruction release back.
+         */
+        SharedCounterPool *sharedPool = nullptr;
     };
 
     /** Outcome of one activation. */
@@ -80,6 +113,10 @@ class CatTree
     };
 
     explicit CatTree(Params params);
+    ~CatTree();
+
+    CatTree(const CatTree &) = delete;
+    CatTree &operator=(const CatTree &) = delete;
 
     /** Record one activation of @p row and apply Algorithm 1. */
     AccessResult access(RowAddr row);
@@ -118,7 +155,11 @@ class CatTree
      * sits above the pre-split level, counts stay below/at their
      * thresholds, free lists are consistent, and the derived hot-path
      * indexes (jump table, per-node depths/ranges, merge-candidate
-     * bitset) agree with the tree.
+     * bitset) agree with the tree.  A brute-force oracle additionally
+     * replays the jump+quad hot-path lookup (`leafSlotFor`) for the
+     * corner rows of every leaf and requires it to land on exactly the
+     * leaf the plain recursive descent reaches - this is what pins the
+     * uneven non-power-of-two pre-split shapes.
      *
      * @param why Optional out-parameter describing the first violation.
      * @retval true when all invariants hold.
@@ -186,9 +227,17 @@ class CatTree
     std::uint32_t allocCounter();
     std::uint32_t allocInode();
     bool tryReconfigure(const Walk &hot);
+    /** Initial-leaf depth for the prefix covering @p lo (uneven when
+     *  floor(M/2) is not a power of two). */
+    std::uint32_t presplitTargetDepth(RowAddr lo) const
+    {
+        if (presplitExtra_ == 0)
+            return presplitDepth_;
+        return (lo >> jumpShift_) < presplitExtra_ ? presplitDepth_ + 1
+                                                   : presplitDepth_;
+    }
     void presplit(std::uint32_t parent, bool right, std::uint32_t counter,
-                  std::uint32_t depth, std::uint32_t target_depth,
-                  RowAddr lo);
+                  std::uint32_t depth, RowAddr lo);
     void rebuildJumpTable();
     bool walkInvariants(std::uint32_t slot, RowAddr lo, RowAddr hi,
                         std::uint32_t depth, std::uint32_t parent,
@@ -228,8 +277,14 @@ class CatTree
     }
 
     Params params_;
-    std::uint32_t presplitDepth_;   //!< depth of initial leaves
+    std::uint32_t presplitDepth_;   //!< shallowest initial-leaf depth
+    /** Prefixes (of presplitDepth_ bits) whose initial leaves sit one
+     *  level deeper; 0 when floor(M/2) is a power of two. */
+    std::uint32_t presplitExtra_ = 0;
+    std::uint32_t presplitLeaves_;  //!< P = initial leaf count
     std::uint32_t rowBits_;         //!< log2(numRows)
+    SharedCounterPool *pool_ = nullptr;
+    std::uint32_t poolHeld_ = 0;    //!< counters charged to the pool
 
     // Flattened tree: two packed child slots per intermediate node,
     // plus SoA side tables (parent link, depth, covered range start)

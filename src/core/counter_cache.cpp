@@ -11,18 +11,23 @@ namespace catsim
 
 CounterCache::CounterCache(RowAddr num_rows,
                            std::uint32_t cache_counters,
-                           std::uint32_t ways, std::uint32_t threshold)
+                           std::uint32_t ways, std::uint32_t threshold,
+                           std::unique_ptr<EvictionPolicy> policy)
     : MitigationScheme(num_rows),
       cacheCounters_(cache_counters),
       ways_(ways),
       sets_(cache_counters / ways),
       threshold_(threshold),
+      policy_(policy ? std::move(policy)
+                     : makeEvictionPolicy(EvictionPolicyKind::Legacy, 0)),
       backing_(num_rows, 0)
 {
     if (ways == 0 || cache_counters % ways != 0)
         CATSIM_FATAL("counter cache capacity (", cache_counters,
                      ") must be a multiple of ways (", ways, ")");
-    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+    tags_.assign(static_cast<std::size_t>(sets_) * ways_, 0);
+    meta_.assign(static_cast<std::size_t>(sets_) * ways_,
+                 CacheWayState{});
 }
 
 RefreshAction
@@ -32,37 +37,36 @@ CounterCache::onActivate(RowAddr row)
     ++tick_;
 
     const std::uint32_t set = row % sets_;
-    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    const RowAddr *tags = &tags_[base];
+    CacheWayState *meta = &meta_[base];
 
-    Line *hit = nullptr;
-    Line *victim = &base[0];
+    std::uint32_t hit = ways_;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        Line &ln = base[w];
-        if (ln.valid && ln.tag == row) {
-            hit = &ln;
+        if (meta[w].valid && tags[w] == row) {
+            hit = w;
             break;
-        }
-        if (!ln.valid) {
-            victim = &ln;
-        } else if (victim->valid && ln.lastUse < victim->lastUse) {
-            victim = &ln;
         }
     }
 
-    if (hit) {
+    if (hit != ways_) {
         ++hits_;
         stats_.sramAccesses += 2; // tag+data read, data write
-        hit->lastUse = tick_;
+        meta[hit].lastUse = tick_;
+        ++meta[hit].useCount;
     } else {
         ++misses_;
         stats_.sramAccesses += 2;
+        const std::uint32_t victim = policy_->pickVictim(meta, ways_);
+        stats_.prngBits = policy_->prngBits();
         // Evict (write the old counter back to DRAM) and fill.
-        if (victim->valid)
+        if (meta[victim].valid)
             ++stats_.counterDramWrites;
         ++stats_.counterDramReads;
-        victim->tag = row;
-        victim->valid = true;
-        victim->lastUse = tick_;
+        tags_[base + victim] = row;
+        meta[victim].valid = true;
+        meta[victim].lastUse = tick_;
+        meta[victim].useCount = 1;
     }
 
     if (++backing_[row] < threshold_)
@@ -86,7 +90,10 @@ CounterCache::onEpoch()
 std::string
 CounterCache::name() const
 {
-    return "CC_" + std::to_string(cacheCounters_);
+    std::string n = "CC_" + std::to_string(cacheCounters_);
+    if (std::string(policy_->name()) != "legacy")
+        n += "_" + std::string(policy_->name());
+    return n;
 }
 
 } // namespace catsim

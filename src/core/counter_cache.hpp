@@ -9,15 +9,21 @@
  * is exact, so only the two physical neighbors of an aggressor are ever
  * refreshed - at the price of counter storage, cache management, and
  * DRAM traffic on misses.
+ *
+ * Victim selection is pluggable (eviction_policy.hpp): the historical
+ * policy is the frozen default, and LRU/LFU/random variants feed the
+ * eviction-sensitivity study (bench_fig15_extensions).
  */
 
 #ifndef CATSIM_CORE_COUNTER_CACHE_HPP
 #define CATSIM_CORE_COUNTER_CACHE_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/adjacency.hpp"
+#include "core/eviction_policy.hpp"
 #include "core/mitigation.hpp"
 
 namespace catsim
@@ -33,9 +39,12 @@ class CounterCache : public MitigationScheme
      *                   (e.g. 2048 for the paper's "2K counter cache").
      * @param ways       Set associativity.
      * @param threshold  Refresh threshold (T).
+     * @param policy     Victim-selection strategy; null selects the
+     *                   frozen legacy policy.
      */
     CounterCache(RowAddr num_rows, std::uint32_t cache_counters,
-                 std::uint32_t ways, std::uint32_t threshold);
+                 std::uint32_t ways, std::uint32_t threshold,
+                 std::unique_ptr<EvictionPolicy> policy = nullptr);
 
     RefreshAction onActivate(RowAddr row) override;
     void onEpoch() override;
@@ -45,6 +54,9 @@ class CounterCache : public MitigationScheme
     Count misses() const { return misses_; }
     std::uint32_t capacity() const { return cacheCounters_; }
 
+    /** The active victim-selection strategy. */
+    const EvictionPolicy &policy() const { return *policy_; }
+
     /** Physical-adjacency model for victim selection (may be null). */
     void setAdjacency(const RowAdjacency *adjacency)
     {
@@ -52,18 +64,13 @@ class CounterCache : public MitigationScheme
     }
 
   private:
-    struct Line
-    {
-        RowAddr tag = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::uint32_t cacheCounters_;
     std::uint32_t ways_;
     std::uint32_t sets_;
     std::uint32_t threshold_;
-    std::vector<Line> lines_;            //!< sets_ x ways_
+    std::unique_ptr<EvictionPolicy> policy_;
+    std::vector<RowAddr> tags_;          //!< sets_ x ways_
+    std::vector<CacheWayState> meta_;    //!< sets_ x ways_
     std::vector<std::uint32_t> backing_; //!< per-row counters ("DRAM")
     std::uint64_t tick_ = 0;
     Count hits_ = 0;

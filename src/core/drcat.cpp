@@ -5,9 +5,10 @@ namespace catsim
 
 Drcat::Drcat(RowAddr num_rows, std::uint32_t num_counters,
              std::uint32_t max_levels, std::uint32_t threshold,
-             std::vector<std::uint32_t> split_thresholds)
+             std::vector<std::uint32_t> split_thresholds,
+             std::shared_ptr<SharedCounterPool> pool)
     : Prcat(num_rows, num_counters, max_levels, threshold, true,
-            std::move(split_thresholds))
+            std::move(split_thresholds), std::move(pool))
 {
 }
 
@@ -26,7 +27,7 @@ Drcat::onEpoch()
 std::string
 Drcat::name() const
 {
-    return "DRCAT_" + std::to_string(tree_.params().numCounters);
+    return treeLabel("DRCAT");
 }
 
 } // namespace catsim

@@ -23,7 +23,8 @@ class Drcat : public Prcat
   public:
     Drcat(RowAddr num_rows, std::uint32_t num_counters,
           std::uint32_t max_levels, std::uint32_t threshold,
-          std::vector<std::uint32_t> split_thresholds = {});
+          std::vector<std::uint32_t> split_thresholds = {},
+          std::shared_ptr<SharedCounterPool> pool = nullptr);
 
     void onEpoch() override;
     std::string name() const override;

@@ -1,5 +1,6 @@
 #include "factory.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/config.hpp"
@@ -9,6 +10,7 @@
 #include "core/pra.hpp"
 #include "core/prcat.hpp"
 #include "core/sca.hpp"
+#include "core/shared_pool.hpp"
 
 namespace catsim
 {
@@ -35,8 +37,15 @@ SchemeConfig::label() const
         break;
       case SchemeKind::CounterCache:
         os << "CC_" << numCounters;
+        // The legacy default is omitted so pre-existing labels stay
+        // unchanged.
+        if (evictionPolicy != EvictionPolicyKind::Legacy)
+            os << '_' << evictionPolicyName(evictionPolicy);
         break;
     }
+    if (banksPerPool > 1
+        && (kind == SchemeKind::Prcat || kind == SchemeKind::Drcat))
+        os << "_rank" << banksPerPool;
     return os.str();
 }
 
@@ -59,8 +68,13 @@ parseSchemeKind(const std::string &name)
     CATSIM_FATAL("unknown scheme '", name, "'");
 }
 
+namespace
+{
+
+/** Build one instance; @p pool is only non-null for CAT kinds. */
 std::unique_ptr<MitigationScheme>
-makeScheme(const SchemeConfig &config, RowAddr num_rows)
+makeOne(const SchemeConfig &config, RowAddr num_rows,
+        std::shared_ptr<SharedCounterPool> pool)
 {
     switch (config.kind) {
       case SchemeKind::None:
@@ -81,19 +95,69 @@ makeScheme(const SchemeConfig &config, RowAddr num_rows)
         return std::make_unique<Prcat>(num_rows, config.numCounters,
                                        config.maxLevels,
                                        config.threshold,
-                                       config.splitThresholds);
+                                       config.splitThresholds,
+                                       std::move(pool));
       case SchemeKind::Drcat:
         return std::make_unique<Drcat>(num_rows, config.numCounters,
                                        config.maxLevels,
                                        config.threshold,
-                                       config.splitThresholds);
+                                       config.splitThresholds,
+                                       std::move(pool));
       case SchemeKind::CounterCache:
-        return std::make_unique<CounterCache>(num_rows,
-                                              config.numCounters,
-                                              config.cacheWays,
-                                              config.threshold);
+        return std::make_unique<CounterCache>(
+            num_rows, config.numCounters, config.cacheWays,
+            config.threshold,
+            config.evictionPolicy == EvictionPolicyKind::Legacy
+                ? nullptr
+                : makeEvictionPolicy(config.evictionPolicy,
+                                     config.seed));
     }
     CATSIM_PANIC("unreachable scheme kind");
+}
+
+bool
+wantsSharedPool(const SchemeConfig &config)
+{
+    return config.banksPerPool > 1
+           && (config.kind == SchemeKind::Prcat
+               || config.kind == SchemeKind::Drcat);
+}
+
+} // namespace
+
+std::unique_ptr<MitigationScheme>
+makeScheme(const SchemeConfig &config, RowAddr num_rows)
+{
+    if (wantsSharedPool(config))
+        CATSIM_FATAL("banksPerPool=", config.banksPerPool,
+                     " needs makeBankSchemes (a single instance cannot "
+                     "share a counter pool)");
+    return makeOne(config, num_rows, nullptr);
+}
+
+std::vector<std::unique_ptr<MitigationScheme>>
+makeBankSchemes(const SchemeConfig &config, RowAddr num_rows,
+                std::uint32_t num_banks)
+{
+    std::vector<std::unique_ptr<MitigationScheme>> schemes;
+    schemes.reserve(num_banks);
+    const bool pooled = wantsSharedPool(config);
+    std::shared_ptr<SharedCounterPool> pool;
+    for (std::uint32_t b = 0; b < num_banks; ++b) {
+        if (pooled && b % config.banksPerPool == 0) {
+            // One pool per group of banksPerPool consecutive banks (a
+            // rank in flat bank order); a short tail group keeps the
+            // per-bank budget, not the full-rank one.
+            const std::uint32_t group =
+                std::min(config.banksPerPool, num_banks - b);
+            pool = std::make_shared<SharedCounterPool>(
+                config.numCounters * group);
+        }
+        SchemeConfig cfg = config;
+        cfg.seed = config.seed * 1000003ULL + b;
+        schemes.push_back(makeOne(cfg, num_rows, pool));
+    }
+    return schemes;
 }
 
 } // namespace catsim

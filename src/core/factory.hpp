@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eviction_policy.hpp"
 #include "core/mitigation.hpp"
 
 namespace catsim
@@ -45,6 +46,17 @@ struct SchemeConfig
      * schedule with the refresh threshold.
      */
     std::vector<std::uint32_t> splitThresholds;
+    /** Counter-cache victim selection; Legacy is the frozen default. */
+    EvictionPolicyKind evictionPolicy = EvictionPolicyKind::Legacy;
+    /**
+     * CAT counter-pool sharing: 0 or 1 keeps the paper's private
+     * per-bank pools; k > 1 shares one pool of k x numCounters
+     * counters among each group of k consecutive banks (set it to the
+     * geometry's banksPerRank for per-rank pools).  Only honoured by
+     * makeBankSchemes - building a single pooled instance through
+     * makeScheme is a configuration error.
+     */
+    std::uint32_t banksPerPool = 0;
 
     /** Human-readable label, e.g. "DRCAT_64". */
     std::string label() const;
@@ -55,10 +67,26 @@ SchemeKind parseSchemeKind(const std::string &name);
 
 /**
  * Build one per-bank scheme instance; returns nullptr for
- * SchemeKind::None.
+ * SchemeKind::None.  Fatal when the config asks for a shared counter
+ * pool (banksPerPool > 1) - a single instance cannot share.
  */
 std::unique_ptr<MitigationScheme> makeScheme(const SchemeConfig &config,
                                              RowAddr num_rows);
+
+/**
+ * Build the scheme instances for @p num_banks banks (flat bank order;
+ * entry b is bank b's scheme, or nullptr for SchemeKind::None).  Each
+ * bank's config derives its seed exactly as the historical per-bank
+ * loops did (seed * 1000003 + bank), so per-bank construction is
+ * byte-identical to calling makeScheme in a loop.  With
+ * config.banksPerPool = k > 1 and a CAT-family kind, each group of k
+ * consecutive banks (a rank, when k = banksPerRank) shares one
+ * SharedCounterPool of k x numCounters counters; the pool's lifetime
+ * is tied to the returned schemes.
+ */
+std::vector<std::unique_ptr<MitigationScheme>> makeBankSchemes(
+    const SchemeConfig &config, RowAddr num_rows,
+    std::uint32_t num_banks);
 
 } // namespace catsim
 

@@ -9,7 +9,8 @@ CatTree::Params
 Prcat::makeParams(RowAddr num_rows, std::uint32_t num_counters,
                   std::uint32_t max_levels, std::uint32_t threshold,
                   bool enable_weights,
-                  std::vector<std::uint32_t> split_thresholds)
+                  std::vector<std::uint32_t> split_thresholds,
+                  SharedCounterPool *pool)
 {
     CatTree::Params p;
     p.numRows = num_rows;
@@ -20,24 +21,34 @@ Prcat::makeParams(RowAddr num_rows, std::uint32_t num_counters,
         ? computeSplitThresholds(num_counters, max_levels, threshold)
         : std::move(split_thresholds);
     p.enableWeights = enable_weights;
+    if (pool != nullptr) {
+        // Rank-pooled tree: per-bank shape, pool-wide growth capacity.
+        p.numCounters = pool->capacity();
+        p.presplitCounters = num_counters;
+        p.sharedPool = pool;
+    }
     return p;
 }
 
 Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
              std::uint32_t max_levels, std::uint32_t threshold,
-             std::vector<std::uint32_t> split_thresholds)
+             std::vector<std::uint32_t> split_thresholds,
+             std::shared_ptr<SharedCounterPool> pool)
     : Prcat(num_rows, num_counters, max_levels, threshold, false,
-            std::move(split_thresholds))
+            std::move(split_thresholds), std::move(pool))
 {
 }
 
 Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
              std::uint32_t max_levels, std::uint32_t threshold,
              bool enable_weights,
-             std::vector<std::uint32_t> split_thresholds)
+             std::vector<std::uint32_t> split_thresholds,
+             std::shared_ptr<SharedCounterPool> pool)
     : MitigationScheme(num_rows),
+      pool_(std::move(pool)),
       tree_(makeParams(num_rows, num_counters, max_levels, threshold,
-                       enable_weights, std::move(split_thresholds)))
+                       enable_weights, std::move(split_thresholds),
+                       pool_.get()))
 {
 }
 
@@ -100,9 +111,21 @@ Prcat::onEpoch()
 }
 
 std::string
+Prcat::treeLabel(const char *prefix) const
+{
+    const auto &p = tree_.params();
+    const std::uint32_t m =
+        p.presplitCounters ? p.presplitCounters : p.numCounters;
+    std::string n = std::string(prefix) + "_" + std::to_string(m);
+    if (p.sharedPool != nullptr)
+        n += "_rank" + std::to_string(p.numCounters / m);
+    return n;
+}
+
+std::string
 Prcat::name() const
 {
-    return "PRCAT_" + std::to_string(tree_.params().numCounters);
+    return treeLabel("PRCAT");
 }
 
 } // namespace catsim

@@ -10,8 +10,11 @@
 #ifndef CATSIM_CORE_PRCAT_HPP
 #define CATSIM_CORE_PRCAT_HPP
 
+#include <memory>
+
 #include "core/cat_tree.hpp"
 #include "core/mitigation.hpp"
+#include "core/shared_pool.hpp"
 
 namespace catsim
 {
@@ -22,15 +25,21 @@ class Prcat : public MitigationScheme
   public:
     /**
      * @param num_rows    Rows per bank (N).
-     * @param num_counters Counters per bank (M, power of two).
+     * @param num_counters Counters per bank (M >= 2, any value).
      * @param max_levels  Maximum tree levels (L).
      * @param threshold   Refresh threshold (T).
      * @param split_thresholds Custom per-depth split schedule (size L,
      *        last == T); empty selects the paper's Section IV-D one.
+     * @param pool        Optional rank-shared counter budget: the tree
+     *        keeps its per-bank pre-split shape (M) but can grow up to
+     *        the pool's capacity as long as the pool has counters
+     *        free.  Shared with the other banks of the rank; kept
+     *        alive by every sharing scheme.
      */
     Prcat(RowAddr num_rows, std::uint32_t num_counters,
           std::uint32_t max_levels, std::uint32_t threshold,
-          std::vector<std::uint32_t> split_thresholds = {});
+          std::vector<std::uint32_t> split_thresholds = {},
+          std::shared_ptr<SharedCounterPool> pool = nullptr);
 
     RefreshAction onActivate(RowAddr row) override;
     void onActivateBatch(const RowAddr *rows,
@@ -40,12 +49,22 @@ class Prcat : public MitigationScheme
 
     const CatTree &tree() const { return tree_; }
 
+    /** The rank-shared counter budget; null for private pools. */
+    const SharedCounterPool *sharedPool() const { return pool_.get(); }
+
   protected:
     Prcat(RowAddr num_rows, std::uint32_t num_counters,
           std::uint32_t max_levels, std::uint32_t threshold,
           bool enable_weights,
-          std::vector<std::uint32_t> split_thresholds);
+          std::vector<std::uint32_t> split_thresholds,
+          std::shared_ptr<SharedCounterPool> pool);
 
+    /** Per-bank M + optional rank suffix, e.g. "PRCAT_64_rank8". */
+    std::string treeLabel(const char *prefix) const;
+
+    // Declared before tree_: the tree's destructor releases its
+    // counters into the pool, so the pool must be destroyed after it.
+    std::shared_ptr<SharedCounterPool> pool_;
     CatTree tree_;
 
   private:
@@ -53,7 +72,8 @@ class Prcat : public MitigationScheme
     makeParams(RowAddr num_rows, std::uint32_t num_counters,
                std::uint32_t max_levels, std::uint32_t threshold,
                bool enable_weights,
-               std::vector<std::uint32_t> split_thresholds);
+               std::vector<std::uint32_t> split_thresholds,
+               SharedCounterPool *pool);
 };
 
 } // namespace catsim

@@ -1,0 +1,36 @@
+#include "shared_pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+SharedCounterPool::SharedCounterPool(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        CATSIM_FATAL("shared counter pool needs a non-zero capacity");
+}
+
+bool
+SharedCounterPool::tryAcquire()
+{
+    if (inUse_ == capacity_)
+        return false;
+    ++inUse_;
+    ++acquires_;
+    if (inUse_ > peakInUse_)
+        peakInUse_ = inUse_;
+    return true;
+}
+
+void
+SharedCounterPool::release(std::uint32_t n)
+{
+    if (n > inUse_)
+        CATSIM_PANIC("shared counter pool released more counters (", n,
+                     ") than are in use (", inUse_, ")");
+    inUse_ -= n;
+}
+
+} // namespace catsim

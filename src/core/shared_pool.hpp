@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Rank-level shared counter budget for the CAT family.
+ *
+ * In the paper every bank owns M counters outright.  The per-rank
+ * variant studied by bench_fig15_extensions keeps the same total
+ * storage (M x banks counters per rank) but lets the banks compete for
+ * it: each bank's tree starts from its usual pre-split shape and any
+ * further split draws a counter from the rank's shared free list, so a
+ * bank under attack can grow past M while idle neighbors stay small.
+ *
+ * The pool is pure bookkeeping: it owns no storage, it only meters how
+ * many counters the attached trees hold.  Trees charge it on
+ * construction/reset, on every split, and release on merge, reset and
+ * destruction.  Not thread-safe by design - a pool is only ever shared
+ * by the banks of one simulated rank, which a single simulation thread
+ * drives (sweep cells build their own schemes, so pools never cross
+ * threads).
+ *
+ * The arbitration cost of sharing is charged through the existing
+ * `sramAccesses` accounting: a pooled tree adds one access per
+ * activation (bank-select into the rank-shared array) and one per
+ * split/reconfigure (shared free-list update); see docs/DESIGN.md
+ * Section 9.
+ */
+
+#ifndef CATSIM_CORE_SHARED_POOL_HPP
+#define CATSIM_CORE_SHARED_POOL_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace catsim
+{
+
+/** Counter budget shared by all CAT trees of one rank. */
+class SharedCounterPool
+{
+  public:
+    explicit SharedCounterPool(std::uint32_t capacity);
+
+    /** Take one counter; false when the pool is exhausted. */
+    bool tryAcquire();
+
+    /** Return @p n counters to the pool. */
+    void release(std::uint32_t n);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t inUse() const { return inUse_; }
+    std::uint32_t available() const { return capacity_ - inUse_; }
+
+    /** High-water mark of counters simultaneously held. */
+    std::uint32_t peakInUse() const { return peakInUse_; }
+
+    /** Total successful acquisitions over the pool's lifetime. */
+    Count acquires() const { return acquires_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t inUse_ = 0;
+    std::uint32_t peakInUse_ = 0;
+    Count acquires_ = 0;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_SHARED_POOL_HPP

@@ -40,13 +40,19 @@ std::vector<std::uint32_t>
 computeSplitThresholds(std::uint32_t num_counters,
                        std::uint32_t max_levels, std::uint32_t threshold)
 {
-    if (!isPow2(num_counters) || num_counters < 2)
-        CATSIM_FATAL("CAT counters must be a power of two >= 2, got ",
+    if (num_counters < 2)
+        CATSIM_FATAL("CAT needs at least 2 counters, got ",
                      num_counters);
-    const std::uint32_t m = log2u(num_counters);
+    // ceil(log2(M)); for a non-power-of-two M the schedule anchors on
+    // the next power up, so the uneven deepest pre-split level (depth
+    // m-1, see cat_tree.hpp) still gets a real split threshold and a
+    // power-of-two M reproduces the historical schedule exactly.
+    const std::uint32_t m =
+        log2u(num_counters) + (isPow2(num_counters) ? 0 : 1);
     const std::uint32_t L = max_levels;
     if (L < m + 1)
-        CATSIM_FATAL("CAT max levels (", L, ") must exceed log2(M)=", m);
+        CATSIM_FATAL("CAT max levels (", L, ") must exceed ceil(log2(M))=",
+                     m);
     if (threshold < 8)
         CATSIM_FATAL("refresh threshold too small: ", threshold);
 

@@ -33,12 +33,14 @@ namespace catsim
 /**
  * Compute the per-depth split-threshold schedule.
  *
- * @param num_counters M, a power of two >= 2.
+ * @param num_counters M >= 2 (need not be a power of two; the
+ *        schedule anchors on m = ceil(log2 M), so power-of-two
+ *        configurations reproduce the historical schedule exactly).
  * @param max_levels   L; the tree has depths 0..L-1.
  * @param threshold    Refresh threshold T.
  * @return Vector of size L; element d is the split threshold used by a
  *         counter at depth d (element L-1 equals T).  Depths below the
- *         initial balanced tree (d < log2(M)-1) reuse the first real
+ *         initial balanced tree (d < m-1) reuse the first real
  *         threshold; they never trigger in practice.
  */
 std::vector<std::uint32_t> computeSplitThresholds(

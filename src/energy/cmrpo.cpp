@@ -12,15 +12,35 @@ schemePower(const SchemeConfig &config, const SchemeStats &stats,
     if (exec_seconds <= 0.0)
         CATSIM_FATAL("schemePower needs a positive execution time");
 
-    const HwCost hw = HwModel::cost(config.kind, config.numCounters,
-                                    config.maxLevels, config.threshold);
+    HwCost hw = HwModel::cost(config.kind, config.numCounters,
+                              config.maxLevels, config.threshold);
+    if (config.banksPerPool > 1
+        && (config.kind == SchemeKind::Prcat
+            || config.kind == SchemeKind::Drcat)) {
+        // Rank-shared counter pool: one structure of k x M counters
+        // serves k banks.  Every activation pays the bigger array's
+        // dynamic access energy (plus the arbitration access already
+        // counted in sramAccesses), while leakage and area are the
+        // bank's 1/k share.  See docs/DESIGN.md Section 9.
+        const double k = static_cast<double>(config.banksPerPool);
+        const HwCost rank = HwModel::cost(
+            config.kind, config.numCounters * config.banksPerPool,
+            config.maxLevels, config.threshold);
+        hw.dynPerAccess = rank.dynPerAccess;
+        hw.staticPerInterval = rank.staticPerInterval / k;
+        hw.areaMm2 = rank.areaMm2 / k;
+    }
 
     PowerBreakdown p;
     // nJ / s = nW; divide by 1e6 for mW.
     const double toMw = 1e-6;
 
     double dynNj = hw.dynPerAccess * static_cast<double>(stats.activations);
-    if (config.kind == SchemeKind::Pra) {
+    // PRA draws per decision; a random-eviction counter cache draws
+    // per conflict miss (both report through stats.prngBits).
+    if (config.kind == SchemeKind::Pra
+        || (config.kind == SchemeKind::CounterCache
+            && config.evictionPolicy == EvictionPolicyKind::Random)) {
         dynNj += EnergyConstants::kPrngPerBitNj
                  * static_cast<double>(stats.prngBits);
     }

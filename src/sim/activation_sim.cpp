@@ -1,5 +1,7 @@
 #include "activation_sim.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace catsim
@@ -7,6 +9,84 @@ namespace catsim
 
 namespace
 {
+
+/**
+ * Interleave all bank sources round-robin at a fixed activation
+ * quantum.  Only used for rank-pooled CAT configs: banks sharing a
+ * counter budget must compete for it roughly in parallel, the way the
+ * timing simulator's arrival-order interleaving makes them - a
+ * sequential bank-by-bank replay would let bank 0 drain the whole
+ * pool before bank 1 ever runs.  The quantum (activations per bank
+ * per turn) is fixed, so the contention order is deterministic and
+ * independent of CATSIM_JOBS; per-scheme results are otherwise
+ * identical to the sequential path because batch delivery is
+ * semantically per-row.
+ */
+constexpr std::size_t kPoolQuantum = 1024;
+
+std::vector<Count>
+playInterleaved(
+    const std::vector<std::unique_ptr<ActivationSource>> &sources,
+    const std::vector<std::unique_ptr<MitigationScheme>> &schemes)
+{
+    struct BankCursor
+    {
+        const RowAddr *rows = nullptr;
+        std::size_t pending = 0;
+        bool done = false;
+    };
+    std::vector<BankCursor> cursors(sources.size());
+    std::vector<Count> epochs(sources.size(), 0);
+    for (std::size_t b = 0; b < sources.size(); ++b)
+        if (!sources[b])
+            cursors[b].done = true;
+
+    bool active = true;
+    while (active) {
+        active = false;
+        for (std::size_t b = 0; b < sources.size(); ++b) {
+            BankCursor &cur = cursors[b];
+            if (cur.done)
+                continue;
+            active = true;
+            ActivationSource &source = *sources[b];
+            MitigationScheme &scheme = *schemes[b];
+            const bool closed = source.closedLoop();
+            std::size_t budget = kPoolQuantum;
+            while (budget > 0) {
+                if (cur.pending == 0) {
+                    const SourceChunk chunk =
+                        source.next(&cur.rows, &cur.pending);
+                    if (chunk == SourceChunk::End) {
+                        cur.done = true;
+                        break;
+                    }
+                    if (chunk == SourceChunk::Epoch) {
+                        scheme.onEpoch();
+                        ++epochs[b];
+                        cur.pending = 0;
+                        continue;
+                    }
+                }
+                const std::size_t take =
+                    std::min(budget, cur.pending);
+                if (closed) {
+                    for (std::size_t i = 0; i < take; ++i) {
+                        const RefreshAction act =
+                            scheme.onActivate(cur.rows[i]);
+                        source.onRefreshAction(cur.rows[i], act);
+                    }
+                } else {
+                    scheme.onActivateBatch(cur.rows, take);
+                }
+                cur.rows += take;
+                cur.pending -= take;
+                budget -= take;
+            }
+        }
+    }
+    return epochs;
+}
 
 /** Drive one bank's source through one scheme instance. */
 Count
@@ -53,6 +133,33 @@ replaySources(
     ReplayResult res;
     res.banks = sources.size();
 
+    const bool pooled = scheme_config.banksPerPool > 1
+                        && (scheme_config.kind == SchemeKind::Prcat
+                            || scheme_config.kind == SchemeKind::Drcat);
+    if (pooled) {
+        // Banks sharing a counter pool are built together (one pool
+        // per bank group) and interleaved round-robin so contention
+        // resolves roughly in parallel (see playInterleaved).
+        auto schemes = makeBankSchemes(
+            scheme_config, rows_per_bank,
+            static_cast<std::uint32_t>(sources.size()));
+        for (std::size_t b = 0; b < sources.size(); ++b)
+            if (sources[b] && !schemes[b])
+                CATSIM_FATAL("replay needs a real scheme, not None");
+        const std::vector<Count> epochs =
+            playInterleaved(sources, schemes);
+        if (!epochs.empty())
+            res.epochs = epochs[0];
+        for (std::size_t b = 0; b < sources.size(); ++b)
+            if (sources[b])
+                res.stats.add(schemes[b]->stats());
+        return res;
+    }
+
+    // Private-pool path: one scheme alive at a time (a CounterCache
+    // instance carries a per-row backing array, so keeping all banks'
+    // schemes alive would multiply peak memory for nothing).  The
+    // per-bank seed derivation matches makeBankSchemes.
     std::uint32_t bankIdx = 0;
     for (const auto &source : sources) {
         if (!source) {

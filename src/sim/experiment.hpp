@@ -154,6 +154,22 @@ class ExperimentRunner
                             const AdaptiveAttackSpec &attack,
                             const SchemeConfig &scheme);
 
+    /**
+     * Attacker-success complement to evalAdaptive's defense-cost view:
+     * the maximum number of activations any single row accumulated
+     * before a refresh covered both of its victims (the
+     * test_integration_safety ledger), over all banks of the same
+     * closed-loop scenario, reported as a fraction of the scaled
+     * refresh threshold.  Deterministic schemes stay at/just above 1.0
+     * (a CAT split consumes the triggering access, so a hammered row
+     * can overshoot by a few accesses); values meaningfully above 1.0
+     * mean the attacker outran the defense (PRA's probabilistic gap).
+     * Pure function of its arguments, like evalAdaptive.
+     */
+    double evalAdaptiveDisturbance(SystemPreset preset,
+                                   const AdaptiveAttackSpec &attack,
+                                   const SchemeConfig &scheme);
+
     /** Records per core targeting ~1.2 scaled epochs for a profile. */
     std::uint64_t recordsFor(const WorkloadSpec &workload,
                              const SystemConfig &sys) const;
@@ -198,6 +214,10 @@ class ExperimentRunner
                                 const SystemConfig &sys,
                                 std::uint64_t records,
                                 const AddressMapper &mapper) const;
+    /** Live per-bank attacker sources for one closed-loop scenario. */
+    std::vector<std::unique_ptr<ActivationSource>> adaptiveSources(
+        const SystemConfig &sys,
+        const AdaptiveAttackSpec &attack) const;
     SchemeConfig scaledScheme(const SchemeConfig &scheme) const;
     EvalResult evalFromReplay(const ReplayResult &replay,
                               const SchemeConfig &scheme,

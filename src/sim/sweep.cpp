@@ -54,6 +54,22 @@ SweepRunner::runAdaptive(const std::vector<AdaptiveCell> &cells)
 }
 
 std::vector<double>
+SweepRunner::runAdaptiveMetric(
+    const std::vector<AdaptiveCell> &cells,
+    const std::function<double(ExperimentRunner &,
+                               const AdaptiveCell &)> &fn)
+{
+    std::vector<double> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results, &fn](std::size_t i) {
+            results[i] = fn(runner_, cells[i]);
+        },
+        jobs_);
+    return results;
+}
+
+std::vector<double>
 SweepRunner::runMetric(
     const std::vector<SweepCell> &cells,
     const std::function<double(ExperimentRunner &, const SweepCell &)>

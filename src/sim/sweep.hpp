@@ -81,6 +81,19 @@ class SweepRunner
         const std::vector<AdaptiveCell> &cells);
 
     /**
+     * Arbitrary per-cell metric over closed-loop cells (the
+     * AdaptiveCell counterpart of runMetric); results[i] belongs to
+     * cells[i].  @p fn must be deterministic given its cell and
+     * thread-safe - the runner's evalAdaptive* family is.  fig14 uses
+     * this for the attacker-success (max inter-refresh disturbance)
+     * complement of the CMRPO grid.
+     */
+    std::vector<double> runAdaptiveMetric(
+        const std::vector<AdaptiveCell> &cells,
+        const std::function<double(ExperimentRunner &,
+                                   const AdaptiveCell &)> &fn);
+
+    /**
      * Arbitrary per-cell metric on the same pool and shared baseline
      * cache; results[i] belongs to cells[i].  @p fn must be
      * deterministic given its cell and thread-safe against concurrent

@@ -270,10 +270,90 @@ TEST_P(CatTreeProperty, InvariantsUnderRandomTraffic)
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, CatTreeProperty,
-    ::testing::Combine(::testing::Values(4u, 16u, 64u, 128u),
+    ::testing::Combine(::testing::Values(4u, 16u, 64u, 128u,
+                                         // non-powers of two: 2^k +/- 1
+                                         31u, 33u, 63u, 65u),
                        ::testing::Values(2u, 4u, 6u),
                        ::testing::Values(2048u, 32768u),
                        ::testing::Bool()));
+
+TEST(CatTreeNonPow2, UnevenPresplitShape)
+{
+    // M = 63: P = 31 initial leaves; d = floor(log2 31) = 4 gives 16
+    // prefixes, of which the 15 lowest-address ones split one level
+    // deeper (30 leaves at depth 5) and the last keeps its single
+    // leaf at depth 4 - 31 in total.
+    CatTree tree(makeParams(65536, 63, 11, 32768));
+    EXPECT_EQ(tree.activeCounters(), 31u);
+    EXPECT_EQ(tree.leafDepth(0), 5u);      // prefix 0: deep
+    EXPECT_EQ(tree.leafDepth(65535), 4u);  // last prefix: shallow
+    // Deep leaves cover 2048 rows, shallow ones 4096.
+    const auto [dlo, dhi] = tree.leafRange(0);
+    EXPECT_EQ(dhi - dlo + 1, 2048u);
+    const auto [slo, shi] = tree.leafRange(65535);
+    EXPECT_EQ(shi - slo + 1, 4096u);
+    // The boundary between deep and shallow prefixes: prefix 14 (of 16)
+    // is the last deep one, prefix 15 the first shallow one.
+    EXPECT_EQ(tree.leafDepth(14u * 4096u), 5u);
+    EXPECT_EQ(tree.leafDepth(15u * 4096u), 4u);
+    std::string why;
+    EXPECT_TRUE(tree.checkInvariants(&why)) << why;
+}
+
+TEST(CatTreeNonPow2, PlusOneKeepsBalancedShapeWithSpare)
+{
+    // M = 65: P = 32 is a power of two, so the shape is exactly the
+    // M=64 pre-split plus one spare counter for growth.
+    CatTree tree(makeParams(65536, 65, 11, 32768));
+    EXPECT_EQ(tree.activeCounters(), 32u);
+    EXPECT_EQ(tree.leafDepth(0), 5u);
+    EXPECT_EQ(tree.leafDepth(65535), 5u);
+    EXPECT_EQ(tree.maxLeafDepth(), 5u);
+    EXPECT_TRUE(tree.checkInvariants());
+}
+
+/**
+ * Refresh-guarantee property at M = 2^k +/- 1: no row may accumulate
+ * more than T activations without a refresh covering both its victims
+ * (the test_integration_safety ledger, at tree level).  CAT-style
+ * schemes consume split-triggering accesses without counting them, so
+ * a bounded slack of one access per possible split is allowed.
+ */
+TEST(CatTreeNonPow2, RefreshGuaranteeAtPow2Neighbors)
+{
+    const RowAddr rows = 65536;
+    const std::uint32_t T = 1024;
+    for (std::uint32_t M : {15u, 17u, 31u, 33u, 63u, 65u}) {
+        CatTree tree(makeParams(rows, M, 11, T, true));
+        std::vector<std::uint32_t> counts(rows, 0);
+        Xoshiro256StarStar rng(M);
+        const RowAddr targets[4] = {
+            static_cast<RowAddr>(rng.nextBounded(rows)),
+            static_cast<RowAddr>(rng.nextBounded(rows)),
+            static_cast<RowAddr>(rng.nextBounded(rows)),
+            static_cast<RowAddr>(rng.nextBounded(rows))};
+        for (int i = 0; i < 300000; ++i) {
+            const RowAddr row = rng.nextDouble() < 0.75
+                ? targets[rng.nextBounded(4)]
+                : static_cast<RowAddr>(rng.nextBounded(rows));
+            const auto r = tree.access(row);
+            ++counts[row];
+            if (r.refreshed) {
+                const RowAddr lo = r.lo == 0 ? 0 : r.lo + 1;
+                const RowAddr hi =
+                    r.hi == rows - 1 ? rows - 1 : r.hi - 1;
+                for (RowAddr v = lo; v <= hi; ++v)
+                    counts[v] = 0;
+            }
+            ASSERT_LE(counts[row], T + 16)
+                << "M=" << M << " row " << row
+                << " exceeded T without victim refresh";
+        }
+        std::string why;
+        EXPECT_TRUE(tree.checkInvariants(&why)) << "M=" << M << ": "
+                                                << why;
+    }
+}
 
 TEST(CatTreeDeath, RejectsBadParams)
 {

@@ -171,6 +171,28 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1024u, 32768u),
                        ::testing::Bool()));
 
+TEST(CatTreeDiffPow2, GeneralizationKeepsPow2BitIdentical)
+{
+    // The non-power-of-two M generalization (uneven pre-split,
+    // jump-table pre-sizing, pool hooks) must leave every power-of-two
+    // configuration with the default schedule byte-for-byte on the
+    // frozen oracle's path - the reference tree never learned about
+    // any of it.
+    const RowAddr rows = 65536;
+    for (std::uint32_t M : {4u, 32u, 64u}) {
+        for (bool weights : {false, true}) {
+            const auto params = makeParams(rows, M, 11, 4096, weights);
+            CatTree fast(params);
+            ReferenceCatTree ref(params);
+            runDifferential(fast, ref,
+                            adversarialStream(rows, 77 + M, 120000),
+                            rows);
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+    }
+}
+
 TEST(CatTreeDiffEpochs, ResetAndResetCountsOnlyStayIdentical)
 {
     // Interleave PRCAT-style full resets and DRCAT-style count-only

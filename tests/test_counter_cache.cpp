@@ -107,4 +107,118 @@ TEST(CounterCacheDeath, RejectsBadWays)
                 ::testing::ExitedWithCode(1), "multiple of ways");
 }
 
+namespace
+{
+
+/** A 4-way cache whose sets alias rows 16 apart (sets = 16). */
+CounterCache
+makeCacheWith(EvictionPolicyKind kind, std::uint64_t seed = 7)
+{
+    return CounterCache(65536, 64, 4, 100000,
+                        makeEvictionPolicy(kind, seed));
+}
+
+} // namespace
+
+TEST(CounterCacheEviction, ParseAndNames)
+{
+    EXPECT_EQ(parseEvictionPolicy("LRU"), EvictionPolicyKind::Lru);
+    EXPECT_EQ(parseEvictionPolicy("legacy"),
+              EvictionPolicyKind::Legacy);
+    EXPECT_EQ(parseEvictionPolicy("default"),
+              EvictionPolicyKind::Legacy);
+    EXPECT_EQ(parseEvictionPolicy("lfu"), EvictionPolicyKind::Lfu);
+    EXPECT_EQ(parseEvictionPolicy("Random"),
+              EvictionPolicyKind::Random);
+    EXPECT_STREQ(evictionPolicyName(EvictionPolicyKind::Lfu), "lfu");
+}
+
+TEST(CounterCacheEviction, ParseDeathOnUnknown)
+{
+    EXPECT_EXIT(parseEvictionPolicy("plru"),
+                ::testing::ExitedWithCode(1), "eviction policy");
+}
+
+TEST(CounterCacheEviction, DefaultIsLegacyAndNameUnchanged)
+{
+    CounterCache cc(65536, 2048, 8, 32768);
+    EXPECT_STREQ(cc.policy().name(), "legacy");
+    EXPECT_EQ(cc.name(), "CC_2048");
+    CounterCache lru(65536, 2048, 8, 32768,
+                     makeEvictionPolicy(EvictionPolicyKind::Lru, 1));
+    EXPECT_EQ(lru.name(), "CC_2048_lru");
+}
+
+TEST(CounterCacheEviction, LegacyMatchesLruOnWarmSets)
+{
+    // Once every way of a set is valid, legacy and LRU are the same
+    // policy (they differ only in invalid-way preference); a shared
+    // conflict stream must produce identical hit counts.
+    CounterCache legacy = makeCacheWith(EvictionPolicyKind::Legacy);
+    CounterCache lru = makeCacheWith(EvictionPolicyKind::Lru);
+    for (int round = 0; round < 200; ++round) {
+        const RowAddr row =
+            static_cast<RowAddr>(16 * ((round * 7) % 9));
+        legacy.onActivate(row);
+        lru.onActivate(row);
+    }
+    EXPECT_EQ(legacy.hits(), lru.hits());
+    EXPECT_EQ(legacy.misses(), lru.misses());
+}
+
+TEST(CounterCacheEviction, LfuKeepsFrequentRowLruEvictsIt)
+{
+    // Row 0 is touched often early, then 4 fresher conflicting rows
+    // stream through the set.  LFU shields the frequent row; LRU
+    // evicts it (it is the least recent once the streamers arrive).
+    auto drive = [](CounterCache &cc) {
+        for (int i = 0; i < 8; ++i)
+            cc.onActivate(0);
+        for (RowAddr r = 16; r <= 64; r += 16)
+            cc.onActivate(r);
+        const Count missesBefore = cc.misses();
+        cc.onActivate(0);
+        return cc.misses() - missesBefore;
+    };
+    CounterCache lfu = makeCacheWith(EvictionPolicyKind::Lfu);
+    EXPECT_EQ(drive(lfu), 0u) << "LFU evicted the frequent row";
+    CounterCache lru = makeCacheWith(EvictionPolicyKind::Lru);
+    EXPECT_EQ(drive(lru), 1u) << "LRU kept the stale frequent row";
+}
+
+TEST(CounterCacheEviction, RandomIsDeterministicPerSeedAndCountsBits)
+{
+    auto drive = [](CounterCache &cc) {
+        for (int i = 0; i < 400; ++i)
+            cc.onActivate(static_cast<RowAddr>(16 * (i % 7)));
+        return cc.hits();
+    };
+    CounterCache a = makeCacheWith(EvictionPolicyKind::Random, 99);
+    CounterCache b = makeCacheWith(EvictionPolicyKind::Random, 99);
+    EXPECT_EQ(drive(a), drive(b));
+    // Conflict misses beyond the fills must have drawn PRNG bits, and
+    // those bits are charged to the scheme stats (energy model input).
+    EXPECT_GT(a.policy().prngBits(), 0u);
+    EXPECT_EQ(a.stats().prngBits, a.policy().prngBits());
+}
+
+TEST(CounterCacheEviction, PoliciesStillRefreshExactly)
+{
+    // Whatever the policy, counting stays exact: threshold T on one
+    // row refreshes exactly its two neighbors.
+    for (EvictionPolicyKind kind :
+         {EvictionPolicyKind::Lru, EvictionPolicyKind::Lfu,
+          EvictionPolicyKind::Random}) {
+        CounterCache cc(65536, 2048, 8, 64,
+                        makeEvictionPolicy(kind, 3));
+        RefreshAction act;
+        for (int i = 0; i < 64; ++i)
+            act = cc.onActivate(1000);
+        ASSERT_TRUE(act.triggered());
+        EXPECT_EQ(act.lo, 999u);
+        EXPECT_EQ(act.hi, 1001u);
+        EXPECT_EQ(act.rowCount, 2u);
+    }
+}
+
 } // namespace catsim

@@ -93,6 +93,69 @@ TEST(Factory, LabelsMatchSchemes)
     EXPECT_EQ(cfg.label(), "PRA_0.003");
 }
 
+TEST(Factory, ExtensionAxisLabels)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::CounterCache;
+    cfg.numCounters = 2048;
+    EXPECT_EQ(cfg.label(), "CC_2048"); // legacy default: unchanged
+    cfg.evictionPolicy = EvictionPolicyKind::Lfu;
+    EXPECT_EQ(cfg.label(), "CC_2048_lfu");
+    // banksPerPool only marks CAT labels.
+    cfg.banksPerPool = 8;
+    EXPECT_EQ(cfg.label(), "CC_2048_lfu");
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 64;
+    EXPECT_EQ(cfg.label(), "DRCAT_64_rank8");
+    cfg.banksPerPool = 1;
+    EXPECT_EQ(cfg.label(), "DRCAT_64");
+}
+
+TEST(Factory, NonPow2CountersBuildAndRun)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 63;
+    cfg.maxLevels = 11;
+    cfg.threshold = 4096;
+    auto scheme = makeScheme(cfg, 65536);
+    EXPECT_EQ(scheme->name(), "DRCAT_63");
+    for (int i = 0; i < 10000; ++i)
+        scheme->onActivate(static_cast<RowAddr>(i % 100));
+    EXPECT_EQ(scheme->stats().activations, 10000u);
+}
+
+TEST(FactoryDeath, SingleInstanceCannotSharePool)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Prcat;
+    cfg.banksPerPool = 8;
+    EXPECT_EXIT(makeScheme(cfg, 65536), ::testing::ExitedWithCode(1),
+                "makeBankSchemes");
+}
+
+TEST(Factory, BankSchemesMatchPerBankConstruction)
+{
+    // makeBankSchemes must reproduce the historical per-bank loop:
+    // same seed derivation, same instances (PRA decisions included).
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Pra;
+    cfg.praProbability = 0.05;
+    cfg.seed = 9;
+    auto banks = makeBankSchemes(cfg, 65536, 3);
+    ASSERT_EQ(banks.size(), 3u);
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        SchemeConfig one = cfg;
+        one.seed = cfg.seed * 1000003ULL + b;
+        auto lone = makeScheme(one, 65536);
+        for (int i = 0; i < 2000; ++i) {
+            ASSERT_EQ(banks[b]->onActivate(7).triggered(),
+                      lone->onActivate(7).triggered())
+                << "bank " << b << " access " << i;
+        }
+    }
+}
+
 TEST(Factory, LfsrPraOption)
 {
     SchemeConfig cfg;

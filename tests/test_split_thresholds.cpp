@@ -108,10 +108,25 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(8192u, 16384u, 32768u,
                                          65536u)));
 
-TEST(SplitThresholdsDeath, RejectsNonPowerOfTwo)
+TEST(SplitThresholds, NonPowerOfTwoAnchorsOnNextPowerUp)
 {
-    EXPECT_EXIT(computeSplitThresholds(48, 10, 32768),
-                ::testing::ExitedWithCode(1), "power of two");
+    // A non-power-of-two M anchors on m = ceil(log2 M): the schedule
+    // is the one the next power of two would get, so the sweep over
+    // M = 2^k +/- 1 in bench_fig15_extensions moves only the tree
+    // shape, never the threshold schedule, within one bracket.
+    for (std::uint32_t m : {33u, 48u, 63u}) {
+        EXPECT_EQ(computeSplitThresholds(m, 11, 32768),
+                  computeSplitThresholds(64, 11, 32768))
+            << "M=" << m;
+    }
+    EXPECT_EQ(computeSplitThresholds(65, 11, 32768),
+              computeSplitThresholds(128, 11, 32768));
+}
+
+TEST(SplitThresholdsDeath, RejectsFewerThanTwoCounters)
+{
+    EXPECT_EXIT(computeSplitThresholds(1, 10, 32768),
+                ::testing::ExitedWithCode(1), "at least 2");
 }
 
 TEST(SplitThresholdsDeath, RejectsTooFewLevels)
