@@ -30,14 +30,17 @@ MemoryController::issue(const MemRequest &req, Cycle not_before)
     if (observer_)
         observer_(flat, req.loc.row);
     MitigationScheme *scheme = schemes_[flat].get();
+    RefreshAction act;
     if (scheme) {
-        const RefreshAction act = scheme->onActivate(req.loc.row);
+        act = scheme->onActivate(req.loc.row);
         if (act.triggered()) {
             dram_.victimRefresh(bid, act.rowCount, at);
             ++stats_.victimRefreshEvents;
             stats_.victimRowsRefreshed += act.rowCount;
         }
     }
+    if (refreshObserver_)
+        refreshObserver_(flat, req.loc.row, act);
     if (done > stats_.lastCompletion)
         stats_.lastCompletion = done;
     return done;
@@ -47,6 +50,12 @@ Cycle
 MemoryController::submitRead(MemRequest req)
 {
     req.loc = mapper_.map(req.addr);
+    return submitMapped(req);
+}
+
+Cycle
+MemoryController::submitMapped(MemRequest req)
+{
     ++stats_.reads;
     // Write-drain has priority when the queue is saturated; otherwise
     // reads bypass queued writes (standard read-priority scheduling).
@@ -122,6 +131,12 @@ void
 MemoryController::setActivationObserver(ActivationObserver obs)
 {
     observer_ = std::move(obs);
+}
+
+void
+MemoryController::setRefreshActionObserver(RefreshActionObserver obs)
+{
+    refreshObserver_ = std::move(obs);
 }
 
 } // namespace catsim

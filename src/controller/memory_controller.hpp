@@ -51,6 +51,16 @@ struct ControllerStats
 using ActivationObserver =
     std::function<void(std::uint32_t bank_flat, RowAddr row)>;
 
+/**
+ * Optional observer of the per-ACT mitigation response.  Invoked for
+ * EVERY activation - with an untriggered (rowCount == 0) action when
+ * the bank's scheme stayed quiet or no scheme is attached - so
+ * closed-loop stimulus sources can watch the defense mid-flight
+ * (ActivationSource::onRefreshAction).
+ */
+using RefreshActionObserver = std::function<void(
+    std::uint32_t bank_flat, RowAddr row, const RefreshAction &act)>;
+
 /** The DRAM memory controller. */
 class MemoryController
 {
@@ -73,6 +83,14 @@ class MemoryController
     Cycle submitRead(MemRequest req);
 
     /**
+     * Submit a read whose DRAM coordinates (@p req.loc) the caller
+     * already filled in - the address-mapper bypass used by stimulus
+     * sources that speak (bank, row) natively.  Same arbitration,
+     * write-drain, and mitigation path as submitRead.
+     */
+    Cycle submitMapped(MemRequest req);
+
+    /**
      * Submit a posted write.
      *
      * @return Bus cycle at which the core may proceed (normally the
@@ -93,6 +111,7 @@ class MemoryController
     SchemeStats combinedSchemeStats() const;
 
     void setActivationObserver(ActivationObserver obs);
+    void setRefreshActionObserver(RefreshActionObserver obs);
 
     static constexpr std::size_t kWriteQueueCapacity = 64;
     static constexpr std::size_t kWriteDrainLow = 48;
@@ -109,6 +128,7 @@ class MemoryController
     std::vector<std::vector<MemRequest>> writeQ_;            //!< per chan
     ControllerStats stats_;
     ActivationObserver observer_;
+    RefreshActionObserver refreshObserver_;
 };
 
 } // namespace catsim

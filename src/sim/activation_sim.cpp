@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "sim/event_engine.hpp"
 
 namespace catsim
 {
@@ -11,117 +12,165 @@ namespace
 {
 
 /**
- * Interleave all bank sources round-robin at a fixed activation
- * quantum.  Only used for rank-pooled CAT configs: banks sharing a
- * counter budget must compete for it roughly in parallel, the way the
- * timing simulator's arrival-order interleaving makes them - a
- * sequential bank-by-bank replay would let bank 0 drain the whole
- * pool before bank 1 ever runs.  The quantum (activations per bank
- * per turn) is fixed, so the contention order is deterministic and
- * independent of CATSIM_JOBS; per-scheme results are otherwise
- * identical to the sequential path because batch delivery is
- * semantically per-row.
+ * Pooled-replay activation quantum.  Banks sharing a counter budget
+ * must compete for it roughly in parallel, the way the timing
+ * simulator's arrival-order interleaving makes them - a sequential
+ * bank-by-bank replay would let bank 0 drain the whole pool before
+ * bank 1 ever runs.  The quantum (activations per bank per turn) is
+ * fixed, so the contention order is deterministic and independent of
+ * CATSIM_JOBS; per-scheme results are otherwise identical to the
+ * sequential path because batch delivery is semantically per-row.
  */
 constexpr std::size_t kPoolQuantum = 1024;
 
-std::vector<Count>
-playInterleaved(
-    const std::vector<std::unique_ptr<ActivationSource>> &sources,
-    const std::vector<std::unique_ptr<MitigationScheme>> &schemes)
+/**
+ * Private-pool replay bank.  Every event consumes ONE source chunk and
+ * re-arms at the same time (= the bank index), so the engine's FIFO
+ * rule for same-actor-same-time events runs each bank to completion
+ * before the next bank's first event - the historical sequential
+ * order.  The scheme is built lazily on the first event and torn down
+ * at End, so at most one bank's scheme is alive at a time (a
+ * CounterCache instance carries a per-row backing array; keeping all
+ * banks' schemes alive would multiply peak memory for nothing).  The
+ * per-bank seed derivation matches makeBankSchemes.
+ */
+class SequentialBankActor : public SimActor
 {
-    struct BankCursor
+  public:
+    SequentialBankActor(EventEngine &engine, ActivationSource &source,
+                        const SchemeConfig &scheme_config,
+                        RowAddr rows_per_bank, std::uint32_t bank_idx)
+        : engine_(engine), source_(source), config_(scheme_config),
+          rowsPerBank_(rows_per_bank), bankIdx_(bank_idx)
     {
-        const RowAddr *rows = nullptr;
-        std::size_t pending = 0;
-        bool done = false;
-    };
-    std::vector<BankCursor> cursors(sources.size());
-    std::vector<Count> epochs(sources.size(), 0);
-    for (std::size_t b = 0; b < sources.size(); ++b)
-        if (!sources[b])
-            cursors[b].done = true;
-
-    bool active = true;
-    while (active) {
-        active = false;
-        for (std::size_t b = 0; b < sources.size(); ++b) {
-            BankCursor &cur = cursors[b];
-            if (cur.done)
-                continue;
-            active = true;
-            ActivationSource &source = *sources[b];
-            MitigationScheme &scheme = *schemes[b];
-            const bool closed = source.closedLoop();
-            std::size_t budget = kPoolQuantum;
-            while (budget > 0) {
-                if (cur.pending == 0) {
-                    const SourceChunk chunk =
-                        source.next(&cur.rows, &cur.pending);
-                    if (chunk == SourceChunk::End) {
-                        cur.done = true;
-                        break;
-                    }
-                    if (chunk == SourceChunk::Epoch) {
-                        scheme.onEpoch();
-                        ++epochs[b];
-                        cur.pending = 0;
-                        continue;
-                    }
-                }
-                const std::size_t take =
-                    std::min(budget, cur.pending);
-                if (closed) {
-                    for (std::size_t i = 0; i < take; ++i) {
-                        const RefreshAction act =
-                            scheme.onActivate(cur.rows[i]);
-                        source.onRefreshAction(cur.rows[i], act);
-                    }
-                } else {
-                    scheme.onActivateBatch(cur.rows, take);
-                }
-                cur.rows += take;
-                cur.pending -= take;
-                budget -= take;
-            }
-        }
+        config_.seed = scheme_config.seed * 1000003ULL + bank_idx;
+        id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
+        engine_.schedule(id_, static_cast<SimTime>(bank_idx));
     }
-    return epochs;
-}
 
-/** Drive one bank's source through one scheme instance. */
-Count
-playSource(ActivationSource &source, MitigationScheme &scheme)
-{
-    const bool closed = source.closedLoop();
-    Count epochs = 0;
-    for (;;) {
+    void
+    onEvent(SimTime now) override
+    {
+        if (!scheme_) {
+            scheme_ = makeScheme(config_, rowsPerBank_);
+            if (!scheme_)
+                CATSIM_FATAL("replay needs a real scheme, not None");
+        }
         const RowAddr *rows = nullptr;
         std::size_t count = 0;
-        const SourceChunk chunk = source.next(&rows, &count);
-        if (chunk == SourceChunk::End)
-            break;
-        if (chunk == SourceChunk::Epoch) {
-            scheme.onEpoch();
-            ++epochs;
-            continue;
+        const SourceChunk chunk = source_.next(&rows, &count);
+        if (chunk == SourceChunk::End) {
+            stats_ = scheme_->stats();
+            scheme_.reset();
+            engine_.retire(id_);
+            return;
         }
-        if (closed) {
-            // Per-activation loop: the source sees every RefreshAction,
-            // which is what lets adaptive attackers react.
+        if (chunk == SourceChunk::Epoch) {
+            scheme_->onEpoch();
+            ++epochs_;
+        } else if (source_.closedLoop()) {
+            // Per-activation loop: the source sees every
+            // RefreshAction, which is what lets adaptive attackers
+            // react.
             for (std::size_t i = 0; i < count; ++i) {
-                const RefreshAction act = scheme.onActivate(rows[i]);
-                source.onRefreshAction(rows[i], act);
+                const RefreshAction act = scheme_->onActivate(rows[i]);
+                source_.onRefreshAction(rows[i], act);
             }
         } else {
             // Epoch markers are rare (one per 64 ms of simulated
             // time), so nearly the whole stream goes through tight
             // per-scheme inner loops instead of one virtual call per
             // activation.
-            scheme.onActivateBatch(rows, count);
+            scheme_->onActivateBatch(rows, count);
         }
+        engine_.schedule(id_, now);
     }
-    return epochs;
-}
+
+    std::uint32_t bankIdx() const { return bankIdx_; }
+    Count epochs() const { return epochs_; }
+    const SchemeStats &stats() const { return stats_; }
+
+  private:
+    EventEngine &engine_;
+    ActivationSource &source_;
+    SchemeConfig config_;
+    RowAddr rowsPerBank_;
+    std::uint32_t bankIdx_;
+    ActorId id_ = 0;
+    std::unique_ptr<MitigationScheme> scheme_;
+    SchemeStats stats_;
+    Count epochs_ = 0;
+};
+
+/**
+ * Rank-pooled replay bank.  Every event plays one kPoolQuantum-sized
+ * turn against an externally owned scheme and re-arms one turn later;
+ * registration in bank order makes the engine's actor-id tie-break
+ * visit live banks round-robin within each turn - the historical
+ * interleaved order.
+ */
+class PooledBankActor : public SimActor
+{
+  public:
+    PooledBankActor(EventEngine &engine, ActivationSource &source,
+                    MitigationScheme &scheme, std::uint32_t bank_idx)
+        : engine_(engine), source_(source), scheme_(scheme),
+          bankIdx_(bank_idx)
+    {
+        id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
+        engine_.schedule(id_, 0.0);
+    }
+
+    void
+    onEvent(SimTime now) override
+    {
+        const bool closed = source_.closedLoop();
+        std::size_t budget = kPoolQuantum;
+        while (budget > 0) {
+            if (pending_ == 0) {
+                const SourceChunk chunk =
+                    source_.next(&rows_, &pending_);
+                if (chunk == SourceChunk::End) {
+                    engine_.retire(id_);
+                    return;
+                }
+                if (chunk == SourceChunk::Epoch) {
+                    scheme_.onEpoch();
+                    ++epochs_;
+                    pending_ = 0;
+                    continue;
+                }
+            }
+            const std::size_t take = std::min(budget, pending_);
+            if (closed) {
+                for (std::size_t i = 0; i < take; ++i) {
+                    const RefreshAction act =
+                        scheme_.onActivate(rows_[i]);
+                    source_.onRefreshAction(rows_[i], act);
+                }
+            } else {
+                scheme_.onActivateBatch(rows_, take);
+            }
+            rows_ += take;
+            pending_ -= take;
+            budget -= take;
+        }
+        engine_.schedule(id_, now + 1.0);
+    }
+
+    std::uint32_t bankIdx() const { return bankIdx_; }
+    Count epochs() const { return epochs_; }
+
+  private:
+    EventEngine &engine_;
+    ActivationSource &source_;
+    MitigationScheme &scheme_;
+    std::uint32_t bankIdx_;
+    ActorId id_ = 0;
+    const RowAddr *rows_ = nullptr;
+    std::size_t pending_ = 0;
+    Count epochs_ = 0;
+};
 
 } // namespace
 
@@ -133,50 +182,56 @@ replaySources(
     ReplayResult res;
     res.banks = sources.size();
 
+    EventEngine engine;
     const bool pooled = scheme_config.banksPerPool > 1
                         && (scheme_config.kind == SchemeKind::Prcat
                             || scheme_config.kind == SchemeKind::Drcat);
     if (pooled) {
         // Banks sharing a counter pool are built together (one pool
         // per bank group) and interleaved round-robin so contention
-        // resolves roughly in parallel (see playInterleaved).
+        // resolves roughly in parallel (see PooledBankActor).
         auto schemes = makeBankSchemes(
             scheme_config, rows_per_bank,
             static_cast<std::uint32_t>(sources.size()));
         for (std::size_t b = 0; b < sources.size(); ++b)
             if (sources[b] && !schemes[b])
                 CATSIM_FATAL("replay needs a real scheme, not None");
-        const std::vector<Count> epochs =
-            playInterleaved(sources, schemes);
-        if (!epochs.empty())
-            res.epochs = epochs[0];
+
+        std::vector<std::unique_ptr<PooledBankActor>> actors;
+        actors.reserve(sources.size());
+        for (std::size_t b = 0; b < sources.size(); ++b) {
+            if (!sources[b])
+                continue;
+            actors.push_back(std::make_unique<PooledBankActor>(
+                engine, *sources[b], *schemes[b],
+                static_cast<std::uint32_t>(b)));
+        }
+        engine.run();
+
+        for (const auto &actor : actors)
+            if (actor->bankIdx() == 0)
+                res.epochs = actor->epochs();
         for (std::size_t b = 0; b < sources.size(); ++b)
             if (sources[b])
                 res.stats.add(schemes[b]->stats());
         return res;
     }
 
-    // Private-pool path: one scheme alive at a time (a CounterCache
-    // instance carries a per-row backing array, so keeping all banks'
-    // schemes alive would multiply peak memory for nothing).  The
-    // per-bank seed derivation matches makeBankSchemes.
-    std::uint32_t bankIdx = 0;
-    for (const auto &source : sources) {
-        if (!source) {
-            ++bankIdx;
+    std::vector<std::unique_ptr<SequentialBankActor>> actors;
+    actors.reserve(sources.size());
+    for (std::size_t b = 0; b < sources.size(); ++b) {
+        if (!sources[b])
             continue;
-        }
-        SchemeConfig cfg = scheme_config;
-        cfg.seed = scheme_config.seed * 1000003ULL + bankIdx;
-        auto scheme = makeScheme(cfg, rows_per_bank);
-        if (!scheme)
-            CATSIM_FATAL("replay needs a real scheme, not None");
+        actors.push_back(std::make_unique<SequentialBankActor>(
+            engine, *sources[b], scheme_config, rows_per_bank,
+            static_cast<std::uint32_t>(b)));
+    }
+    engine.run();
 
-        const Count epochs = playSource(*source, *scheme);
-        if (bankIdx == 0)
-            res.epochs = epochs;
-        res.stats.add(scheme->stats());
-        ++bankIdx;
+    for (const auto &actor : actors) {
+        if (actor->bankIdx() == 0)
+            res.epochs = actor->epochs();
+        res.stats.add(actor->stats());
     }
     return res;
 }

@@ -1,0 +1,76 @@
+#include "event_engine.hpp"
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+ActorId
+EventEngine::addActor(SimActor *actor, ActorRole role)
+{
+    const auto id = static_cast<ActorId>(actors_.size());
+    actors_.push_back(actor);
+    if (role == ActorRole::Source)
+        ++liveSources_;
+    return id;
+}
+
+void
+EventEngine::schedule(ActorId id, SimTime at)
+{
+    Event e;
+    e.time = at;
+    e.actor = id;
+    e.seq = nextSeq_++;
+    queue_.push(e);
+}
+
+void
+EventEngine::retire(ActorId id)
+{
+    (void)id;
+    if (liveSources_ == 0)
+        CATSIM_FATAL("retire() without a live source actor");
+    --liveSources_;
+}
+
+void
+EventEngine::run()
+{
+    while (liveSources_ > 0 && !queue_.empty()) {
+        const Event e = queue_.top();
+        queue_.pop();
+        actors_[e.actor]->onEvent(e.time);
+    }
+}
+
+EpochTimerActor::EpochTimerActor(EventEngine &engine,
+                                 double epoch_cycles, Callback on_epoch)
+    : engine_(engine),
+      epochCycles_(epoch_cycles),
+      next_(epoch_cycles),
+      onEpoch_(std::move(on_epoch))
+{
+    if (epochCycles_ < 1.0)
+        CATSIM_FATAL("epoch scale too small");
+    id_ = engine_.addActor(this, EventEngine::ActorRole::Timer);
+    engine_.schedule(id_, next_);
+}
+
+void
+EpochTimerActor::onEvent(SimTime)
+{
+    onEpoch_();
+    ++epochs_;
+    next_ += epochCycles_;
+    engine_.schedule(id_, next_);
+}
+
+void
+appendEpochMarkers(std::vector<std::vector<RowAddr>> &streams)
+{
+    for (auto &s : streams)
+        s.push_back(kEpochMarker);
+}
+
+} // namespace catsim

@@ -510,6 +510,36 @@ ExperimentRunner::evalAdaptiveDisturbance(SystemPreset preset,
 }
 
 double
+ExperimentRunner::evalAdaptiveEto(SystemPreset preset,
+                                  const AdaptiveAttackSpec &attack,
+                                  const SchemeConfig &scheme)
+{
+    SystemConfig sys = makeSystem(preset);
+    sys.recordActivations = false;
+    sys.epochScale = scale_;
+
+    // Sources are stateful (closed-loop ones mutate their aggressor
+    // sets), so each leg gets a fresh, identically seeded fleet.
+    SystemConfig baseSys = sys;
+    baseSys.scheme = SchemeConfig{};
+    baseSys.scheme.kind = SchemeKind::None;
+    const auto baseSources = adaptiveSources(baseSys, attack);
+    const TimingResult base = runTimingOnSources(baseSys, baseSources);
+
+    SystemConfig mitSys = sys;
+    mitSys.scheme = scaledScheme(scheme);
+    const auto mitSources = adaptiveSources(mitSys, attack);
+    const TimingResult mitigated =
+        runTimingOnSources(mitSys, mitSources);
+
+    const double raw = eto(base.execSeconds, mitigated.execSeconds);
+    // De-scale: the per-epoch blocking time is faithful, but a scaled
+    // epoch is 1/s shorter, inflating the relative overhead.
+    const double corr = (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+    return raw * corr;
+}
+
+double
 ExperimentRunner::evalEto(SystemPreset preset,
                           const WorkloadSpec &workload,
                           const SchemeConfig &scheme)

@@ -170,6 +170,20 @@ class ExperimentRunner
                                    const AdaptiveAttackSpec &attack,
                                    const SchemeConfig &scheme);
 
+    /**
+     * ETO of a scheme under a closed-loop attack, via two full timing
+     * runs on the stimulus path (runTimingOnSources): a baseline leg
+     * with the identical attacker fleet and no mitigation, and a
+     * mitigated leg where every victim refresh blocks the hammered
+     * bank.  RefreshAware attackers observe the mitigated leg's
+     * RefreshActions mid-flight - the overhead of a defense that is
+     * being actively evaded, which no replay of a recorded stream can
+     * express.  Pure function of its arguments, like evalAdaptive.
+     */
+    double evalAdaptiveEto(SystemPreset preset,
+                           const AdaptiveAttackSpec &attack,
+                           const SchemeConfig &scheme);
+
     /** Records per core targeting ~1.2 scaled epochs for a profile. */
     std::uint64_t recordsFor(const WorkloadSpec &workload,
                              const SystemConfig &sys) const;

@@ -1,0 +1,87 @@
+#include "reference_timing_sim.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+TimingResult
+referenceRunTiming(const SystemConfig &config,
+                   const StreamFactory &make_stream)
+{
+    DramSystem dram(config.geometry, config.timing);
+    AddressMapper mapper(config.geometry, config.mapping);
+    MemoryController mc(dram, mapper, config.scheme);
+
+    TimingResult res;
+    if (config.recordActivations) {
+        res.bankStreams.resize(config.geometry.totalBanks());
+        mc.setActivationObserver(
+            [&res](std::uint32_t bank, RowAddr row) {
+                res.bankStreams[bank].push_back(row);
+            });
+    }
+
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    cores.reserve(config.numCores);
+    for (CoreId c = 0; c < config.numCores; ++c) {
+        cores.push_back(std::make_unique<CoreModel>(
+            c, config.core, make_stream(c), mc));
+    }
+
+    const double epochCycles =
+        static_cast<double>(config.timing.refreshIntervalCycles())
+        * config.epochScale;
+    if (epochCycles < 1.0)
+        CATSIM_FATAL("epoch scale too small");
+    double nextEpoch = epochCycles;
+
+    // Advance the earliest core one record at a time; cores' clocks
+    // only move forward, so requests are submitted in arrival order.
+    std::size_t active = cores.size();
+    while (active > 0) {
+        CoreModel *earliest = nullptr;
+        for (auto &core : cores) {
+            if (core->done())
+                continue;
+            if (!earliest || core->time() < earliest->time())
+                earliest = core.get();
+        }
+        if (!earliest)
+            break;
+
+        if (earliest->time() >= nextEpoch) {
+            mc.onEpoch();
+            ++res.epochs;
+            nextEpoch += epochCycles;
+            if (config.recordActivations) {
+                for (auto &s : res.bankStreams)
+                    s.push_back(kEpochMarker);
+            }
+            continue;
+        }
+
+        if (!earliest->step())
+            --active;
+    }
+
+    Cycle end = 0;
+    for (auto &core : cores) {
+        core->drain();
+        end = std::max(end, static_cast<Cycle>(core->time()));
+    }
+    mc.drainAllWrites(end);
+    end = std::max(end, mc.stats().lastCompletion);
+
+    res.execCycles = end;
+    res.execSeconds = config.timing.cyclesToNs(end) * 1e-9;
+    res.controller = mc.stats();
+    res.scheme = mc.combinedSchemeStats();
+    res.totalActivations = dram.totalActivations();
+    res.victimRowsRefreshed = dram.totalVictimRowsRefreshed();
+    return res;
+}
+
+} // namespace catsim

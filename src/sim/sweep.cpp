@@ -54,6 +54,21 @@ SweepRunner::runAdaptive(const std::vector<AdaptiveCell> &cells)
 }
 
 std::vector<double>
+SweepRunner::runAdaptiveEto(const std::vector<AdaptiveCell> &cells)
+{
+    std::vector<double> results(cells.size());
+    parallelFor(
+        cells.size(),
+        [this, &cells, &results](std::size_t i) {
+            const AdaptiveCell &c = cells[i];
+            results[i] =
+                runner_.evalAdaptiveEto(c.preset, c.attack, c.scheme);
+        },
+        jobs_);
+    return results;
+}
+
+std::vector<double>
 SweepRunner::runAdaptiveMetric(
     const std::vector<AdaptiveCell> &cells,
     const std::function<double(ExperimentRunner &,

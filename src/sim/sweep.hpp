@@ -81,6 +81,15 @@ class SweepRunner
         const std::vector<AdaptiveCell> &cells);
 
     /**
+     * Closed-loop ETO timing runs (two runTimingOnSources legs per
+     * cell, see ExperimentRunner::evalAdaptiveEto); results[i] belongs
+     * to cells[i].  Like runAdaptive, cells are pure functions of
+     * their spec - no baseline cache, bit-identical at any job count.
+     */
+    std::vector<double> runAdaptiveEto(
+        const std::vector<AdaptiveCell> &cells);
+
+    /**
      * Arbitrary per-cell metric over closed-loop cells (the
      * AdaptiveCell counterpart of runMetric); results[i] belongs to
      * cells[i].  @p fn must be deterministic given its cell and

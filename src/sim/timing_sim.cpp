@@ -1,11 +1,137 @@
 #include "timing_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
+#include "sim/event_engine.hpp"
 
 namespace catsim
 {
+
+namespace
+{
+
+/**
+ * One trace-driven core as an engine actor.  Every event consumes one
+ * trace record; the actor re-arms at the core's advanced clock, so the
+ * queue order reproduces the historical earliest-core scan (see the
+ * tie-break contract in event_engine.hpp).
+ */
+class CoreActor : public SimActor
+{
+  public:
+    CoreActor(EventEngine &engine, CoreModel &core)
+        : engine_(engine), core_(core)
+    {
+        id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
+        engine_.schedule(id_, core_.time());
+    }
+
+    void
+    onEvent(SimTime) override
+    {
+        if (core_.step())
+            engine_.schedule(id_, core_.time());
+        else
+            engine_.retire(id_);
+    }
+
+  private:
+    EventEngine &engine_;
+    CoreModel &core_;
+    ActorId id_ = 0;
+};
+
+/**
+ * One DRAM bank hammered by an ActivationSource at the fastest legal
+ * cadence (one ACT per tRC of local time).  The DRAM timeline pushes
+ * actual issue later whenever the bank is blocked by victim refreshes,
+ * which is exactly the slowdown ETO measures.
+ */
+class BankSourceActor : public SimActor
+{
+  public:
+    BankSourceActor(EventEngine &engine, ActivationSource &source,
+                    MemoryController &mc, const MappedAddr &loc,
+                    double act_cycles)
+        : engine_(engine), source_(source), mc_(mc), loc_(loc),
+          actCycles_(act_cycles)
+    {
+        id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
+        engine_.schedule(id_, clock_);
+    }
+
+    void
+    onEvent(SimTime) override
+    {
+        while (pending_ == 0) {
+            const SourceChunk chunk = source_.next(&rows_, &pending_);
+            if (chunk == SourceChunk::End) {
+                engine_.retire(id_);
+                return;
+            }
+            // The source's own Epoch chunks are pacing metadata on the
+            // timing path; real boundaries come from the engine-owned
+            // epoch timer.
+        }
+        MemRequest req;
+        req.loc = loc_;
+        req.loc.row = rows_[0];
+        req.arrival = static_cast<Cycle>(clock_);
+        mc_.submitMapped(req);
+        ++rows_;
+        --pending_;
+        clock_ += actCycles_;
+        engine_.schedule(id_, clock_);
+    }
+
+    double clock() const { return clock_; }
+
+  private:
+    EventEngine &engine_;
+    ActivationSource &source_;
+    MemoryController &mc_;
+    MappedAddr loc_;
+    double actCycles_;
+    ActorId id_ = 0;
+    double clock_ = 0.0;
+    const RowAddr *rows_ = nullptr;
+    std::size_t pending_ = 0;
+};
+
+double
+scaledEpochCycles(const SystemConfig &config)
+{
+    return static_cast<double>(config.timing.refreshIntervalCycles())
+           * config.epochScale;
+}
+
+/** Invert BankId::flat: flat -> DRAM coordinates with row/col zero. */
+MappedAddr
+bankCoordinates(const DramGeometry &geom, std::uint32_t flat)
+{
+    MappedAddr loc;
+    loc.bank = flat % geom.banksPerRank;
+    const std::uint32_t tmp = flat / geom.banksPerRank;
+    loc.rank = tmp % geom.ranksPerChannel;
+    loc.channel = tmp / geom.ranksPerChannel;
+    return loc;
+}
+
+void
+finishResult(TimingResult &res, const SystemConfig &config, Cycle end,
+             const MemoryController &mc, const DramSystem &dram)
+{
+    res.execCycles = end;
+    res.execSeconds = config.timing.cyclesToNs(end) * 1e-9;
+    res.controller = mc.stats();
+    res.scheme = mc.combinedSchemeStats();
+    res.totalActivations = dram.totalActivations();
+    res.victimRowsRefreshed = dram.totalVictimRowsRefreshed();
+}
+
+} // namespace
 
 TimingResult
 runTiming(const SystemConfig &config, const StreamFactory &make_stream)
@@ -30,41 +156,23 @@ runTiming(const SystemConfig &config, const StreamFactory &make_stream)
             c, config.core, make_stream(c), mc));
     }
 
-    const double epochCycles =
-        static_cast<double>(config.timing.refreshIntervalCycles())
-        * config.epochScale;
-    if (epochCycles < 1.0)
-        CATSIM_FATAL("epoch scale too small");
-    double nextEpoch = epochCycles;
-
-    // Advance the earliest core one record at a time; cores' clocks
-    // only move forward, so requests are submitted in arrival order.
-    std::size_t active = cores.size();
-    while (active > 0) {
-        CoreModel *earliest = nullptr;
-        for (auto &core : cores) {
-            if (core->done())
-                continue;
-            if (!earliest || core->time() < earliest->time())
-                earliest = core.get();
-        }
-        if (!earliest)
-            break;
-
-        if (earliest->time() >= nextEpoch) {
+    EventEngine engine;
+    // The epoch timer registers first: at an exact boundary tie it
+    // fires before any core, preserving the historical semantics of
+    // "epoch work happens before the core whose clock reached it".
+    EpochTimerActor epochTimer(
+        engine, scaledEpochCycles(config), [&]() {
             mc.onEpoch();
-            ++res.epochs;
-            nextEpoch += epochCycles;
-            if (config.recordActivations) {
-                for (auto &s : res.bankStreams)
-                    s.push_back(kEpochMarker);
-            }
-            continue;
-        }
+            if (config.recordActivations)
+                appendEpochMarkers(res.bankStreams);
+        });
+    std::vector<std::unique_ptr<CoreActor>> actors;
+    actors.reserve(cores.size());
+    for (auto &core : cores)
+        actors.push_back(std::make_unique<CoreActor>(engine, *core));
 
-        if (!earliest->step())
-            --active;
-    }
+    engine.run();
+    res.epochs = epochTimer.epochs();
 
     Cycle end = 0;
     for (auto &core : cores) {
@@ -74,13 +182,73 @@ runTiming(const SystemConfig &config, const StreamFactory &make_stream)
     mc.drainAllWrites(end);
     end = std::max(end, mc.stats().lastCompletion);
 
-    res.execCycles = end;
-    res.execSeconds =
-        config.timing.cyclesToNs(end) * 1e-9;
-    res.controller = mc.stats();
-    res.scheme = mc.combinedSchemeStats();
-    res.totalActivations = dram.totalActivations();
-    res.victimRowsRefreshed = dram.totalVictimRowsRefreshed();
+    finishResult(res, config, end, mc, dram);
+    return res;
+}
+
+TimingResult
+runTimingOnSources(
+    const SystemConfig &config,
+    const std::vector<std::unique_ptr<ActivationSource>> &sources)
+{
+    DramSystem dram(config.geometry, config.timing);
+    AddressMapper mapper(config.geometry, config.mapping);
+    MemoryController mc(dram, mapper, config.scheme);
+
+    const std::uint32_t totalBanks = config.geometry.totalBanks();
+    if (sources.size() != totalBanks)
+        CATSIM_FATAL("runTimingOnSources: need one source slot per bank");
+
+    TimingResult res;
+    if (config.recordActivations) {
+        res.bankStreams.resize(totalBanks);
+        mc.setActivationObserver(
+            [&res](std::uint32_t bank, RowAddr row) {
+                res.bankStreams[bank].push_back(row);
+            });
+    }
+    // Mid-flight defense feedback: every ACT's RefreshAction (possibly
+    // untriggered) is delivered to the issuing bank's source while the
+    // run is in progress - the closed-loop attacker's sensing channel.
+    mc.setRefreshActionObserver(
+        [&sources](std::uint32_t bank, RowAddr row,
+                   const RefreshAction &act) {
+            ActivationSource *src = sources[bank].get();
+            if (src && src->closedLoop())
+                src->onRefreshAction(row, act);
+        });
+
+    EventEngine engine;
+    EpochTimerActor epochTimer(
+        engine, scaledEpochCycles(config), [&]() {
+            mc.onEpoch();
+            if (config.recordActivations)
+                appendEpochMarkers(res.bankStreams);
+        });
+    const double actCycles =
+        static_cast<double>(config.timing.tRC);
+    std::vector<std::unique_ptr<BankSourceActor>> actors;
+    actors.reserve(totalBanks);
+    for (std::uint32_t b = 0; b < totalBanks; ++b) {
+        if (!sources[b])
+            continue;
+        actors.push_back(std::make_unique<BankSourceActor>(
+            engine, *sources[b], mc,
+            bankCoordinates(config.geometry, b), actCycles));
+    }
+
+    engine.run();
+    res.epochs = epochTimer.epochs();
+
+    Cycle end = mc.stats().lastCompletion;
+    for (const auto &actor : actors) {
+        end = std::max(
+            end, static_cast<Cycle>(std::ceil(actor->clock())));
+    }
+    mc.drainAllWrites(end);
+    end = std::max(end, mc.stats().lastCompletion);
+
+    finishResult(res, config, end, mc, dram);
     return res;
 }
 

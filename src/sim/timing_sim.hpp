@@ -1,13 +1,26 @@
 /**
  * @file
- * Closed-loop timing simulation: cores -> memory controller -> DRAM,
- * with a mitigation scheme attached to every bank.
+ * Timing simulation front ends over the unified discrete-event engine
+ * (sim/event_engine.hpp): cores -> memory controller -> DRAM, with a
+ * mitigation scheme attached to every bank.
  *
- * Cores are advanced in global time order, so requests reach the
- * controller in arrival order (exact for closed-page FR-FCFS, which has
- * no row hits to reorder for).  The simulator emits epoch callbacks at
- * every 64 ms auto-refresh boundary and can record the per-bank
- * activation streams for later cheap replay (ActivationSim).
+ * Two front ends share the engine, the controller, and the epoch
+ * timer:
+ *
+ *  - runTiming: trace-driven cores.  Each core is a Source actor that
+ *    consumes one trace record per event, so requests reach the
+ *    controller in arrival order (exact for closed-page FR-FCFS,
+ *    which has no row hits to reorder for).  Bit-identical to the
+ *    frozen reference loop (sim/reference_timing_sim.hpp).
+ *  - runTimingOnSources: stimulus-driven banks.  Each DRAM bank is a
+ *    Source actor fed by an ActivationSource at the fastest legal ACT
+ *    cadence (one per tRC); closed-loop sources observe every
+ *    RefreshAction mid-flight and can re-aim, which is what makes ETO
+ *    under an adaptive attacker expressible at all.
+ *
+ * Both emit epoch callbacks at every (scaled) 64 ms auto-refresh
+ * boundary through the engine-owned epoch timer and can record the
+ * per-bank activation streams for later cheap replay (ActivationSim).
  */
 
 #ifndef CATSIM_SIM_TIMING_SIM_HPP
@@ -22,6 +35,7 @@
 #include "controller/memory_controller.hpp"
 #include "core/factory.hpp"
 #include "dram/dram_system.hpp"
+#include "sim/activation_source.hpp"
 #include "sim/core_model.hpp"
 #include "trace/trace.hpp"
 
@@ -65,9 +79,25 @@ struct TimingResult
     std::vector<std::vector<RowAddr>> bankStreams;
 };
 
-/** Run one closed-loop timing simulation. */
+/** Run one closed-loop timing simulation with trace-driven cores. */
 TimingResult runTiming(const SystemConfig &config,
                        const StreamFactory &make_stream);
+
+/**
+ * Run one timing simulation where every DRAM bank is driven by its
+ * own stimulus source (sources[i] is flat bank i's; null = idle bank).
+ * Each bank hammers at one ACT per tRC on its local clock; victim
+ * refreshes ordered by the scheme block the bank, so mitigation cost
+ * lands in execCycles (read at the DRAM pin, i.e. last completion).
+ * Closed-loop sources receive onRefreshAction for every activation
+ * they issue, including untriggered ones.  The sources' own Epoch
+ * chunks are pacing metadata on this path; real boundaries come from
+ * the engine's epoch timer.  Sources are stateful - pass fresh ones
+ * per run.
+ */
+TimingResult runTimingOnSources(
+    const SystemConfig &config,
+    const std::vector<std::unique_ptr<ActivationSource>> &sources);
 
 } // namespace catsim
 

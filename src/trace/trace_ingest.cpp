@@ -5,6 +5,7 @@
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
+#include "sim/event_engine.hpp"
 
 namespace catsim
 {
@@ -114,8 +115,7 @@ traceBankStreams(TraceStream &stream, const AddressMapper &mapper,
         streams[flat].push_back(loc.row);
         if (epoch_every > 0 && ++sinceEpoch >= epoch_every) {
             sinceEpoch = 0;
-            for (auto &s : streams)
-                s.push_back(kEpochMarker);
+            appendEpochMarkers(streams);
         }
     }
     return streams;

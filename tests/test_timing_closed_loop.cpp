@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Closed-loop coverage of the stimulus timing path
+ * (runTimingOnSources): the RefreshAwareAttackerSource must observe
+ * RefreshActions delivered mid-flight by the memory controller and
+ * re-aim, extracting strictly more disturbance from the tree schemes
+ * than the blind kernel - the timing-path mirror of the activation-path
+ * assertions in test_activation_source.cpp - while exact per-row
+ * counting (CounterCache) stays flat, and the extra victim refreshes
+ * must surface as execution-time overhead (ETO).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/timing_sim.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+SystemConfig
+stimulusSystem(SchemeKind kind)
+{
+    SystemConfig sys;
+    sys.geometry = DramGeometry::dualCore2Ch();
+    sys.scheme.kind = kind;
+    sys.scheme.numCounters = 64;
+    sys.scheme.maxLevels = 11;
+    sys.scheme.threshold = 1024;
+    if (kind == SchemeKind::CounterCache)
+        sys.scheme.numCounters = 2048;
+    sys.epochScale = 0.01; // ~512 K bus cycles per epoch
+    return sys;
+}
+
+/** One identically seeded attacker per bank, open or closed loop. */
+std::vector<std::unique_ptr<ActivationSource>>
+makeFleet(const SystemConfig &sys, bool refresh_aware,
+          std::uint64_t acts_per_epoch = 20000,
+          std::uint64_t epochs = 1)
+{
+    std::vector<std::unique_ptr<ActivationSource>> fleet;
+    const std::uint32_t banks = sys.geometry.totalBanks();
+    fleet.reserve(banks);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+        AttackSourceParams p;
+        p.numRows = sys.geometry.rowsPerBank;
+        p.targets = {100, 900, 1700, 2500};
+        p.targetFraction = 0.5;
+        p.actsPerEpoch = acts_per_epoch;
+        p.epochs = epochs;
+        p.seed = 77ULL * (b + 1);
+        if (refresh_aware)
+            fleet.push_back(
+                std::make_unique<RefreshAwareAttackerSource>(p));
+        else
+            fleet.push_back(
+                std::make_unique<SyntheticAttackSource>(p));
+    }
+    return fleet;
+}
+
+Count
+fleetRotations(
+    const std::vector<std::unique_ptr<ActivationSource>> &fleet)
+{
+    Count total = 0;
+    for (const auto &src : fleet) {
+        if (const auto *aware =
+                dynamic_cast<const RefreshAwareAttackerSource *>(
+                    src.get()))
+            total += aware->rotations();
+    }
+    return total;
+}
+
+AdaptiveAttackSpec
+attackSpec(AttackerKind attacker)
+{
+    AdaptiveAttackSpec spec;
+    spec.attacker = attacker;
+    spec.mode = AttackMode::Medium;
+    spec.kernel = 1;
+    return spec;
+}
+
+SchemeConfig
+paperScheme(SchemeKind kind)
+{
+    SchemeConfig cfg;
+    cfg.kind = kind;
+    cfg.numCounters = (kind == SchemeKind::CounterCache) ? 2048 : 64;
+    cfg.maxLevels = 11;
+    cfg.threshold = 32768;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TimingClosedLoop, BaselineFleetRunsToCompletion)
+{
+    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    const auto fleet = makeFleet(sys, false, 5000);
+    const TimingResult res = runTimingOnSources(sys, fleet);
+    // Every bank delivered its full stream through the controller.
+    EXPECT_EQ(res.totalActivations,
+              5000ull * sys.geometry.totalBanks());
+    EXPECT_EQ(res.controller.reads, res.totalActivations);
+    EXPECT_GT(res.execCycles, 0u);
+    EXPECT_EQ(res.victimRowsRefreshed, 0u);
+}
+
+TEST(TimingClosedLoop, NullSlotsLeaveBanksIdle)
+{
+    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    auto fleet = makeFleet(sys, false, 5000);
+    fleet[1].reset();
+    fleet[7].reset();
+    const TimingResult res = runTimingOnSources(sys, fleet);
+    EXPECT_EQ(res.totalActivations,
+              5000ull * (sys.geometry.totalBanks() - 2));
+}
+
+TEST(TimingClosedLoop, RecordsStreamsWithEpochMarkers)
+{
+    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    sys.recordActivations = true;
+    const auto fleet = makeFleet(sys, false, 30000);
+    const TimingResult res = runTimingOnSources(sys, fleet);
+    EXPECT_GT(res.epochs, 0u);
+    ASSERT_EQ(res.bankStreams.size(), sys.geometry.totalBanks());
+    Count rows = 0;
+    Count markers = 0;
+    for (const RowAddr r : res.bankStreams[0]) {
+        rows += r != kEpochMarker;
+        markers += r == kEpochMarker;
+    }
+    EXPECT_EQ(rows, 30000u);
+    EXPECT_EQ(markers, res.epochs);
+}
+
+TEST(TimingClosedLoop, MitigationBlocksTheHammeredBank)
+{
+    SystemConfig base = stimulusSystem(SchemeKind::None);
+    const TimingResult b =
+        runTimingOnSources(base, makeFleet(base, false));
+
+    SystemConfig mit = stimulusSystem(SchemeKind::Drcat);
+    const TimingResult m =
+        runTimingOnSources(mit, makeFleet(mit, false));
+
+    EXPECT_GT(m.victimRowsRefreshed, 0u);
+    EXPECT_GT(m.execCycles, b.execCycles);
+    EXPECT_EQ(m.totalActivations, b.totalActivations);
+}
+
+TEST(TimingClosedLoop, RefreshAwareReAimsOnTimingPath)
+{
+    for (const SchemeKind kind :
+         {SchemeKind::Prcat, SchemeKind::Drcat}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        SystemConfig sys = stimulusSystem(kind);
+
+        const auto openFleet = makeFleet(sys, false);
+        const TimingResult statics =
+            runTimingOnSources(sys, openFleet);
+
+        const auto closedFleet = makeFleet(sys, true);
+        const TimingResult adaptive =
+            runTimingOnSources(sys, closedFleet);
+
+        // The attacker really saw the defense: observed refreshes on
+        // the timing path drove aggressor rotations.
+        EXPECT_GT(fleetRotations(closedFleet), 0u);
+        // Same activation budget, strictly more extracted refreshes -
+        // each re-aim lands in a coarse tree region whose whole span
+        // is refreshed at the next trigger.
+        EXPECT_EQ(adaptive.totalActivations, statics.totalActivations);
+        EXPECT_GT(adaptive.victimRowsRefreshed,
+                  statics.victimRowsRefreshed);
+        // And the extra blocking is visible on the clock.
+        EXPECT_GT(adaptive.execCycles, statics.execCycles);
+    }
+}
+
+TEST(TimingClosedLoop, ExactCountingStaysFlatUnderReAiming)
+{
+    SystemConfig sys = stimulusSystem(SchemeKind::CounterCache);
+
+    const TimingResult statics =
+        runTimingOnSources(sys, makeFleet(sys, false));
+    const TimingResult adaptive =
+        runTimingOnSources(sys, makeFleet(sys, true));
+
+    // Exact per-row counting cannot be gamed by moving aggressors:
+    // every rotation restarts the new row's count from zero, so the
+    // adaptive attacker extracts no more refresh work than the blind
+    // one (two victim rows per trigger either way).
+    EXPECT_EQ(adaptive.totalActivations, statics.totalActivations);
+    EXPECT_LE(adaptive.victimRowsRefreshed,
+              statics.victimRowsRefreshed);
+}
+
+TEST(TimingClosedLoop, AdaptiveEtoOrdersAttackersAndSchemes)
+{
+    ExperimentRunner runner(0.02);
+
+    const double drcatStatic = runner.evalAdaptiveEto(
+        SystemPreset::DualCore2Ch, attackSpec(AttackerKind::Static),
+        paperScheme(SchemeKind::Drcat));
+    const double drcatAware = runner.evalAdaptiveEto(
+        SystemPreset::DualCore2Ch,
+        attackSpec(AttackerKind::RefreshAware),
+        paperScheme(SchemeKind::Drcat));
+    const double ccStatic = runner.evalAdaptiveEto(
+        SystemPreset::DualCore2Ch, attackSpec(AttackerKind::Static),
+        paperScheme(SchemeKind::CounterCache));
+    const double ccAware = runner.evalAdaptiveEto(
+        SystemPreset::DualCore2Ch,
+        attackSpec(AttackerKind::RefreshAware),
+        paperScheme(SchemeKind::CounterCache));
+
+    // Mitigation under a saturating hammer costs time at all.
+    EXPECT_GT(drcatStatic, 0.0);
+    // Re-aiming multiplies the tree scheme's overhead...
+    EXPECT_GT(drcatAware, 2.0 * drcatStatic);
+    // ...but leaves exact counting essentially untouched.
+    EXPECT_LT(ccAware, 1.5 * ccStatic);
+    EXPECT_LT(ccAware, drcatAware);
+}
+
+} // namespace catsim
