@@ -57,24 +57,25 @@ benchBanner(const std::string &what, double scale, std::size_t jobs = 0)
 }
 
 /**
- * Mean CMRPO over the 18-workload suite for each scheme config,
+ * Mean CMRPO for each scheme config over a list of workload names,
  * evaluated as one parallel sweep grid.  means[i] belongs to
- * configs[i]; workloads are accumulated in suite order, so the means
- * are bit-identical to the serial per-config loops they replace.
+ * configs[i]; workloads accumulate in the given order, so the means
+ * are bit-identical to the serial per-config loops they replace.  The
+ * single cell builder shared by every config x workload CMRPO grid.
  */
 inline std::vector<double>
-suiteMeanCmrpo(SweepRunner &sweep,
-               const std::vector<SchemeConfig> &configs,
-               SystemPreset preset = SystemPreset::DualCore2Ch)
+meanCmrpoPerConfig(SweepRunner &sweep,
+                   const std::vector<SchemeConfig> &configs,
+                   const std::vector<std::string> &workloads,
+                   SystemPreset preset = SystemPreset::DualCore2Ch)
 {
-    const auto &suite = workloadSuite();
     std::vector<SweepCell> cells;
-    cells.reserve(configs.size() * suite.size());
+    cells.reserve(configs.size() * workloads.size());
     for (const auto &cfg : configs) {
-        for (const auto &profile : suite) {
+        for (const auto &w : workloads) {
             SweepCell c;
             c.preset = preset;
-            c.workload.name = profile.name;
+            c.workload.name = w;
             c.scheme = cfg;
             cells.push_back(c);
         }
@@ -84,11 +85,23 @@ suiteMeanCmrpo(SweepRunner &sweep,
     std::size_t i = 0;
     for (std::size_t c = 0; c < configs.size(); ++c) {
         RunningStat stat;
-        for (std::size_t w = 0; w < suite.size(); ++w)
+        for (std::size_t w = 0; w < workloads.size(); ++w)
             stat.add(results[i++].cmrpo);
         means[c] = stat.mean();
     }
     return means;
+}
+
+/** Mean CMRPO per config over the full 18-workload suite. */
+inline std::vector<double>
+suiteMeanCmrpo(SweepRunner &sweep,
+               const std::vector<SchemeConfig> &configs,
+               SystemPreset preset = SystemPreset::DualCore2Ch)
+{
+    std::vector<std::string> names;
+    for (const auto &profile : workloadSuite())
+        names.push_back(profile.name);
+    return meanCmrpoPerConfig(sweep, configs, names, preset);
 }
 
 /**

@@ -36,37 +36,16 @@ namespace
 {
 
 /** Cross-suite workload subset (COMM/PARSEC/SPEC/BIO all present). */
-const char *const kWorkloads[] = {"comm2", "black",  "libq",
-                                  "fluid", "MTC", "mum"};
-constexpr std::size_t kNumWorkloads =
-    sizeof(kWorkloads) / sizeof(kWorkloads[0]);
+const std::vector<std::string> kWorkloads = {"comm2", "black", "libq",
+                                             "fluid", "MTC",   "mum"};
+const std::size_t kNumWorkloads = kWorkloads.size();
 
-/** Mean CMRPO per config over the workload subset, one sweep grid. */
+/** Mean CMRPO per config over the subset (shared grid builder). */
 std::vector<double>
 subsetMeanCmrpo(SweepRunner &sweep,
                 const std::vector<SchemeConfig> &configs)
 {
-    std::vector<SweepCell> cells;
-    cells.reserve(configs.size() * kNumWorkloads);
-    for (const auto &cfg : configs) {
-        for (const char *w : kWorkloads) {
-            SweepCell c;
-            c.preset = SystemPreset::DualCore2Ch;
-            c.workload.name = w;
-            c.scheme = cfg;
-            cells.push_back(c);
-        }
-    }
-    const auto results = sweep.runCmrpo(cells);
-    std::vector<double> means(configs.size());
-    std::size_t i = 0;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        RunningStat stat;
-        for (std::size_t w = 0; w < kNumWorkloads; ++w)
-            stat.add(results[i++].cmrpo);
-        means[c] = stat.mean();
-    }
-    return means;
+    return meanCmrpoPerConfig(sweep, configs, kWorkloads);
 }
 
 } // namespace
@@ -147,18 +126,17 @@ main()
     std::cout << "\nper-bank vs per-rank counter pools (8 banks/rank, "
                  "iso-storage):\n";
     TextTable poolTable({"scheme", "per-bank", "per-rank"});
-    idx = 0;
-    for (const char *name : {"PRCAT", "DRCAT"}) {
-        for (std::uint32_t m : poolCounters) {
-            const double perBank = poolMeans[idx++];
-            const double perRank = poolMeans[idx++];
-            const std::string label =
-                std::string(name) + "_" + std::to_string(m);
-            poolTable.addRow({label, TextTable::pct(perBank, 3),
-                              TextTable::pct(perRank, 3)});
-            benchMetric("cmrpo_mean_" + label + "_perbank", perBank);
-            benchMetric("cmrpo_mean_" + label + "_rank8", perRank);
-        }
+    // Configs were pushed in (per-bank, per-rank) pairs; the per-bank
+    // one's label() ("PRCAT_16") keys both metric columns - the rank
+    // suffix lives in the metric name, not the label.
+    for (std::size_t c = 0; c < poolConfigs.size(); c += 2) {
+        const double perBank = poolMeans[c];
+        const double perRank = poolMeans[c + 1];
+        const std::string label = poolConfigs[c].label();
+        poolTable.addRow({label, TextTable::pct(perBank, 3),
+                          TextTable::pct(perRank, 3)});
+        benchMetric("cmrpo_mean_" + label + "_perbank", perBank);
+        benchMetric("cmrpo_mean_" + label + "_rank8", perRank);
     }
     poolTable.print(std::cout);
 

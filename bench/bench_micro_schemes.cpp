@@ -12,8 +12,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/lfsr.hpp"
+#include "core/factory.hpp"
+#include "core/tree_bundle.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
@@ -162,6 +167,92 @@ BM_CatTreeAccessRef(benchmark::State &state)
     catTreeAccessBench<ReferenceCatTree>(state, state.range(0) != 0);
 }
 BENCHMARK(BM_CatTreeAccessRef)->Arg(0)->Arg(1);
+
+constexpr std::uint32_t kBundleBanks = 16;
+constexpr std::size_t kStreamLen = 1 << 16;
+
+/** Per-bank skewed streams for the multi-bank bundle benchmarks. */
+const std::vector<std::vector<RowAddr>> &
+bankStreams()
+{
+    static const std::vector<std::vector<RowAddr>> streams = [] {
+        std::vector<std::vector<RowAddr>> s(kBundleBanks);
+        for (std::uint32_t b = 0; b < kBundleBanks; ++b) {
+            Xoshiro256StarStar rng(1000 + b);
+            ZipfSampler zipf(kRows, 1.1);
+            s[b].reserve(kStreamLen);
+            for (std::size_t i = 0; i < kStreamLen; ++i)
+                s[b].push_back(static_cast<RowAddr>(
+                    zipf.sample(rng) * 2654435761ULL % kRows));
+        }
+        return s;
+    }();
+    return streams;
+}
+
+/** 16-lane DRCAT bundle group via the factory (bundleWidth default). */
+std::vector<std::unique_ptr<MitigationScheme>>
+makeBundleGroup(std::uint32_t bundle_width)
+{
+    SchemeConfig cfg;
+    cfg.kind = SchemeKind::Drcat;
+    cfg.numCounters = 64;
+    cfg.maxLevels = 11;
+    cfg.threshold = 32768;
+    cfg.bundleWidth = bundle_width;
+    return makeBankSchemes(cfg, kRows, kBundleBanks);
+}
+
+/**
+ * TreeBundle::onActivateLanes over the 16-bank group - the vectorized
+ * multi-bank hot path the group replay drives.  Items/sec here divided
+ * by BM_CatTreeAccessFlat's is the SoA bundling speedup on top of
+ * PR 3's single-tree flattening.
+ */
+void
+BM_TreeBundleLanes(benchmark::State &state)
+{
+    const auto schemes = makeBundleGroup(0);
+    TreeBundle *bundle = schemes[0]->bundleHint().bundle;
+    const auto &streams = bankStreams();
+    // Grow every lane to steady state before timing.
+    for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+        bundle->onActivateBatch(b, streams[b].data(), kStreamLen);
+    constexpr std::size_t kChunk = 4096;
+    std::size_t off = 0;
+    std::vector<TreeBundle::LaneBatch> batches(kBundleBanks);
+    for (auto _ : state) {
+        for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+            batches[b] = {b, streams[b].data() + off, kChunk};
+        bundle->onActivateLanes(batches.data(), batches.size());
+        off = (off + kChunk) & (kStreamLen - 1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kBundleBanks * kChunk));
+}
+BENCHMARK(BM_TreeBundleLanes)->Unit(benchmark::kMicrosecond);
+
+/** The same group as standalone trees stepped per bank - the
+ *  pre-bundle replay inner loop, for the on-report comparison. */
+void
+BM_TreeBundleFlatBatch(benchmark::State &state)
+{
+    const auto schemes = makeBundleGroup(1);
+    const auto &streams = bankStreams();
+    for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+        schemes[b]->onActivateBatch(streams[b].data(), kStreamLen);
+    constexpr std::size_t kChunk = 4096;
+    std::size_t off = 0;
+    for (auto _ : state) {
+        for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+            schemes[b]->onActivateBatch(streams[b].data() + off,
+                                        kChunk);
+        off = (off + kChunk) & (kStreamLen - 1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kBundleBanks * kChunk));
+}
+BENCHMARK(BM_TreeBundleFlatBatch)->Unit(benchmark::kMicrosecond);
 
 /** Worst-case deep leaf: single-row hammer after full growth. */
 template <typename TreeT>
@@ -358,7 +449,120 @@ BENCHMARK(BM_SweepSmallGrid)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+/**
+ * Wall-time @p pass (which runs @p acts_per_pass activations) after
+ * two warm-up passes (tree growth to steady state), repeating until
+ * at least ~0.4 s is measured; returns activations per second.
+ */
+template <typename Fn>
+double
+actsPerSec(Fn &&pass, Count acts_per_pass)
+{
+    pass();
+    pass();
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    Count reps = 0;
+    do {
+        pass();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                      .count();
+    } while (elapsed < 0.4);
+    return static_cast<double>(reps * acts_per_pass) / elapsed;
+}
+
+/**
+ * The tentpole's headline numbers as first-class @@METRIC lines,
+ * collected into BENCH_bench_micro_schemes.json by run_benches.sh and
+ * regression-gated by scripts/check_perf.py:
+ *
+ *   flat_acts_per_sec       PR 3's hot path: one virtual onActivate
+ *                           per activation on standalone trees
+ *   flatbatch_acts_per_sec  standalone trees stepped with per-bank
+ *                           onActivateBatch chunks
+ *   bundle_acts_per_sec     the 16-lane TreeBundle::onActivateLanes
+ *                           arena path
+ *
+ * All three drive the identical 16-bank DRCAT_64 group over identical
+ * per-bank Zipf streams, so the ratios isolate the API/layout change.
+ */
+void
+emitBundleSpeedupMetrics()
+{
+    const auto &streams = bankStreams();
+    constexpr Count kActsPerPass =
+        static_cast<Count>(kBundleBanks) * kStreamLen;
+
+    const auto flat = makeBundleGroup(1);
+    const double flatRate = actsPerSec(
+        [&] {
+            for (std::uint32_t b = 0; b < kBundleBanks; ++b) {
+                MitigationScheme &s = *flat[b];
+                const RowAddr *rows = streams[b].data();
+                for (std::size_t i = 0; i < kStreamLen; ++i)
+                    s.onActivate(rows[i]);
+            }
+        },
+        kActsPerPass);
+
+    const auto flatBatch = makeBundleGroup(1);
+    const double flatBatchRate = actsPerSec(
+        [&] {
+            for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+                flatBatch[b]->onActivateBatch(streams[b].data(),
+                                              kStreamLen);
+        },
+        kActsPerPass);
+
+    const auto bundled = makeBundleGroup(0);
+    TreeBundle *bundle = bundled[0]->bundleHint().bundle;
+    std::vector<TreeBundle::LaneBatch> batches(kBundleBanks);
+    const double bundleRate = actsPerSec(
+        [&] {
+            for (std::uint32_t b = 0; b < kBundleBanks; ++b)
+                batches[b] = {b, streams[b].data(), kStreamLen};
+            bundle->onActivateLanes(batches.data(), batches.size());
+        },
+        kActsPerPass);
+
+    // Which bundle kernel this host ran (2 = AVX-512, 1 = AVX2,
+    // 0 = scalar); check_perf.py keys its speedup floors on it.
+    std::printf("@@METRIC bundle_simd_tier %d\n",
+                TreeBundle::simdTier());
+    std::printf("@@METRIC flat_acts_per_sec %.6g\n", flatRate);
+    std::printf("@@METRIC flatbatch_acts_per_sec %.6g\n",
+                flatBatchRate);
+    std::printf("@@METRIC bundle_acts_per_sec %.6g\n", bundleRate);
+    std::printf("@@METRIC bundle_speedup_vs_flat %.4f\n",
+                bundleRate / flatRate);
+    std::printf("@@METRIC bundle_speedup_vs_flatbatch %.4f\n",
+                bundleRate / flatBatchRate);
+    std::fflush(stdout);
+}
+
 } // namespace
 } // namespace catsim
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    catsim::emitBundleSpeedupMetrics();
+
+    // CATSIM_MICRO_FILTER narrows the google-benchmark suite when the
+    // caller (run_benches.sh, CI) cannot pass --benchmark_filter.
+    std::vector<char *> args(argv, argv + argc);
+    std::string filterArg;
+    if (const char *f = std::getenv("CATSIM_MICRO_FILTER")) {
+        filterArg = std::string("--benchmark_filter=") + f;
+        args.push_back(filterArg.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

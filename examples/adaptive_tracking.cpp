@@ -17,6 +17,7 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -33,15 +34,20 @@ Count
 epochTraffic(SchemeT &scheme, RowAddr hot, std::uint64_t seed)
 {
     Xoshiro256StarStar rng(seed);
-    Count rows = 0;
-    for (int i = 0; i < 120000; ++i) {
-        const RowAddr row = rng.nextDouble() < 0.8
+    // Batch-first: generate the epoch's stream, hand it over in one
+    // onActivateBatch call (bit-identical to the per-call loop), and
+    // read the victim-row total off the scheme's stats.
+    std::vector<RowAddr> rows(120000);
+    for (RowAddr &row : rows)
+        row = rng.nextDouble() < 0.8
             ? hot
             : static_cast<RowAddr>(rng.nextBounded(65536));
-        rows += scheme.onActivate(row).rowCount;
-    }
+    const Count before = scheme.stats().victimRowsRefreshed;
+    scheme.onActivateBatch(rows.data(), rows.size());
+    const Count refreshed =
+        scheme.stats().victimRowsRefreshed - before;
     scheme.onEpoch();
-    return rows;
+    return refreshed;
 }
 
 /** Advance both schemes one epoch, DRCAT and PRCAT in parallel. */

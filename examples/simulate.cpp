@@ -7,14 +7,20 @@
  *   simulate scheme=drcat counters=64 levels=11 threshold=32768
  *            workload=black system=dual2ch scale=0.1 seed=42
  *            attack=none|heavy|medium|light kernel=1 p=0.002 eto=1
- *            kernelkind=gaussian|multibank
- *            eviction=legacy|lru|lfu|random bankspool=K
+ *            kind=gaussian|multibank       (alias: kernelkind=)
+ *            policy=legacy|lru|lfu|random  (alias: eviction=)
+ *            pool=K                        (alias: bankspool=)
+ *            bundle=W
  *
- * `counters` may be any M >= 2 (the CAT pre-splits unevenly for
- * non-powers of two); `eviction` selects the counter-cache victim
- * policy; `bankspool=K` (K > 1, CAT schemes) shares one pool of
- * K x counters among each group of K consecutive banks - set K to the
- * geometry's banks-per-rank (8) for per-rank pools.
+ * Everything except scale=/eto=/trace= is read by SystemConfig::parse
+ * (sim/system_config.hpp documents the full surface), so any config
+ * line printed by SystemConfig::format() pastes straight back into
+ * this CLI.  `counters` may be any M >= 2 (the CAT pre-splits unevenly
+ * for non-powers of two); `policy` selects the counter-cache victim
+ * policy; `pool=K` (K > 1, CAT schemes) shares one pool of K x
+ * counters among each group of K consecutive banks - set K to the
+ * geometry's banks-per-rank (8) for per-rank pools; `bundle=W` sets
+ * the (purely execution-layout) SoA tree-bundle width.
  *   simulate trace=file.trc traceformat=native|dramsim
  *            epochrecords=N scheme=... threshold=...
  *
@@ -46,48 +52,14 @@ main(int argc, char **argv)
 
     const Config cfg = Config::fromArgs(argc, argv);
 
-    SchemeConfig scheme;
-    scheme.kind = parseSchemeKind(cfg.getString("scheme", "drcat"));
-    scheme.numCounters =
-        static_cast<std::uint32_t>(cfg.getUint("counters", 64));
-    scheme.maxLevels =
-        static_cast<std::uint32_t>(cfg.getUint("levels", 11));
-    scheme.threshold =
-        static_cast<std::uint32_t>(cfg.getUint("threshold", 32768));
-    scheme.praProbability = cfg.getDouble("p", 0.002);
-    scheme.lfsrPrng = cfg.getBool("lfsr", false);
-    scheme.evictionPolicy =
-        parseEvictionPolicy(cfg.getString("eviction", "legacy"));
-    scheme.banksPerPool =
-        static_cast<std::uint32_t>(cfg.getUint("bankspool", 0));
-
-    SystemPreset preset = SystemPreset::DualCore2Ch;
-    const std::string system = cfg.getString("system", "dual2ch");
-    if (system == "quad2ch")
-        preset = SystemPreset::QuadCore2Ch;
-    else if (system == "quad4ch")
-        preset = SystemPreset::QuadCore4Ch;
-    else if (system != "dual2ch")
-        CATSIM_FATAL("system must be dual2ch|quad2ch|quad4ch");
-
-    WorkloadSpec w;
-    w.name = cfg.getString("workload", "black");
-    w.seed = cfg.getUint("seed", 42);
-    w.attackKernelKind = parseAttackKernelKind(
-        cfg.getString("kernelkind", "gaussian"));
-    const std::string attack = cfg.getString("attack", "none");
-    if (attack != "none") {
-        w.isAttack = true;
-        w.attackKernel = cfg.getUint("kernel", 1);
-        if (attack == "heavy")
-            w.attackMode = AttackMode::Heavy;
-        else if (attack == "medium")
-            w.attackMode = AttackMode::Medium;
-        else if (attack == "light")
-            w.attackMode = AttackMode::Light;
-        else
-            CATSIM_FATAL("attack must be none|heavy|medium|light");
-    }
+    // The whole scheme/system/workload/attack surface is read by the
+    // one shared parser; only simulate-specific keys (scale=, eto=,
+    // trace=...) are read here.
+    const SystemConfig parsed = SystemConfig::parse(cfg);
+    const SchemeConfig &scheme = parsed.scheme;
+    const SystemPreset preset = parsed.preset;
+    const WorkloadSpec &w = parsed.workload;
+    const std::string system = systemPresetName(preset);
 
     // External-trace mode: ingest, map into per-bank streams, replay.
     // Parsed after workload/attack so bogus values of those keys are
@@ -99,7 +71,7 @@ main(int argc, char **argv)
         if (scheme.kind == SchemeKind::None)
             CATSIM_FATAL("trace replay needs a real scheme");
         VectorTrace trace = readTraceFileAs(tracePath, format);
-        const SystemConfig sys = makeSystem(preset);
+        const TimingConfig sys = makeSystem(preset);
         const AddressMapper mapper(sys.geometry, sys.mapping);
         const auto streams = traceBankStreams(
             trace, mapper, sys.geometry,
@@ -131,7 +103,8 @@ main(int argc, char **argv)
     std::cout << "simulating " << w.label() << " on " << system
               << " with " << scheme.label()
               << " (T=" << scheme.threshold
-              << ", scale=" << runner.scale() << ")\n\n";
+              << ", scale=" << runner.scale() << ")\n"
+              << "config: " << parsed.format() << "\n\n";
 
     const auto &base = runner.baseline(preset, w);
     const auto sys = makeSystem(preset);

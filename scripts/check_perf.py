@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Hot-path throughput regression guard.
+
+Reads the ``metrics`` object of the micro-bench's ``BENCH_<name>.json``
+(produced by scripts/run_benches.sh) and enforces the committed floors
+in ``scripts/reference_perf.json``:
+
+* **Speedup ratios** (bundle vs flattened tree) are machine-relative,
+  so they get hard per-SIMD-tier floors: the bench reports which
+  bundle kernel the host ran (``bundle_simd_tier``: 2 = AVX-512
+  fused descent+resolve, 1 = AVX2 gather descent, 0 = portable
+  scalar) and each ratio must clear the floor committed for that
+  tier.  This is the PR's acceptance bar (>= 3x on AVX-512 hosts).
+* **Absolute throughputs** (activations/second) vary with hardware,
+  so they only get loose sanity floors: ``reference * min_frac``.
+  They catch order-of-magnitude regressions (e.g. the bundle silently
+  falling back to per-call dispatch), not machine-to-machine drift.
+
+Unlike check_metrics.py (bit-exact physics), perf numbers are noisy;
+floors here are deliberately one-sided - faster is always fine.
+
+Usage:
+    scripts/check_perf.py RESULTS_DIR [--reference FILE]
+
+Exit status: 0 when every present metric clears its floor (or the
+bench did not run), 1 on any floor violation, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_json(path: Path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", type=Path)
+    parser.add_argument(
+        "--reference",
+        type=Path,
+        default=Path(__file__).parent / "reference_perf.json",
+    )
+    args = parser.parse_args()
+
+    ref = load_json(args.reference)
+    bench = ref.get("bench", "bench_micro_schemes")
+    result_path = args.results_dir / f"BENCH_{bench}.json"
+    if not result_path.is_file():
+        print(f"check_perf: {result_path.name} not present, skipping")
+        return 0
+
+    metrics = load_json(result_path).get("metrics", {})
+    if not metrics:
+        print(f"check_perf: {result_path.name} has no metrics, skipping")
+        return 0
+
+    failures = []
+
+    tier_key = ref.get("tier_metric", "bundle_simd_tier")
+    tier = str(int(metrics.get(tier_key, 0)))
+    for name, floors in ref.get("ratio_floors", {}).items():
+        if name not in metrics:
+            continue
+        floor = floors.get(tier)
+        if floor is None:
+            continue
+        value = float(metrics[name])
+        if value < floor:
+            failures.append(
+                f"{name} = {value:.3f} below floor {floor:.3f} "
+                f"(simd tier {tier})"
+            )
+        else:
+            print(
+                f"  ok: {name} = {value:.3f} >= {floor:.3f} "
+                f"(simd tier {tier})"
+            )
+
+    for name, spec in ref.get("throughput_floors", {}).items():
+        if name not in metrics:
+            continue
+        floor = float(spec["reference"]) * float(spec.get("min_frac", 0.2))
+        value = float(metrics[name])
+        if value < floor:
+            failures.append(
+                f"{name} = {value:.3g} below sanity floor {floor:.3g} "
+                f"({spec['reference']:.3g} * {spec.get('min_frac', 0.2)})"
+            )
+        else:
+            print(f"  ok: {name} = {value:.3g} >= {floor:.3g}")
+
+    if failures:
+        print(f"check_perf: {len(failures)} floor violation(s):")
+        for f in failures:
+            print(f"  FAIL: {f}")
+        return 1
+    print("check_perf: all floors cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,10 @@
 #                  regression check (scripts/check_metrics.py); the
 #                  check auto-skips benches whose scale differs from
 #                  the committed reference scale
+#   CATSIM_CHECK_PERF  set to 0 to skip the hot-path throughput gate
+#                  (scripts/check_perf.py over the micro-bench's
+#                  @@METRIC activations/sec; auto-skips when the
+#                  micro-bench was filtered out)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -103,6 +107,19 @@ if [ "${CATSIM_CHECK_METRICS:-1}" != "0" ] && [ -f "${REFERENCE}" ] \
     if ! python3 "${REPO_ROOT}/scripts/check_metrics.py" \
         "${OUT_DIR}" --reference "${REFERENCE}"; then
         echo "::error::bench metrics regressed against reference"
+        status=1
+    fi
+fi
+
+# Gate the hot-path throughput (bundle speedup floors per SIMD tier,
+# loose absolute sanity floors; see scripts/reference_perf.json).
+PERF_REFERENCE="${REPO_ROOT}/scripts/reference_perf.json"
+if [ "${CATSIM_CHECK_PERF:-1}" != "0" ] && [ -f "${PERF_REFERENCE}" ] \
+    && command -v python3 > /dev/null; then
+    echo "==> checking throughput against $(basename "${PERF_REFERENCE}")"
+    if ! python3 "${REPO_ROOT}/scripts/check_perf.py" \
+        "${OUT_DIR}" --reference "${PERF_REFERENCE}"; then
+        echo "::error::hot-path throughput regressed against reference"
         status=1
     fi
 fi

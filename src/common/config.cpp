@@ -45,6 +45,25 @@ Config::fromArgs(int argc, const char *const *argv)
 }
 
 Config
+Config::fromString(const std::string &text)
+{
+    Config cfg;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t end = text.find_first_of(" \t\r\n", pos);
+        const std::string token =
+            text.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+        pos = end == std::string::npos ? text.size() : end + 1;
+        if (token.empty())
+            continue;
+        auto [k, v] = splitPair(token);
+        cfg.set(k, v);
+    }
+    return cfg;
+}
+
+Config
 Config::fromFile(const std::string &path)
 {
     std::ifstream in(path);

@@ -31,6 +31,10 @@ class Config
     /** Parse a config file (one key=value per line, '#' comments). */
     static Config fromFile(const std::string &path);
 
+    /** Parse a whitespace-separated "key=value ..." string (what
+     *  SystemConfig::format emits; completes the round-trip). */
+    static Config fromString(const std::string &text);
+
     void set(const std::string &key, const std::string &value);
     bool has(const std::string &key) const;
 

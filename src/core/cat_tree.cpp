@@ -2,48 +2,12 @@
 
 #include <algorithm>
 
+#include "common/bit.hpp"
 #include "common/logging.hpp"
 #include "core/shared_pool.hpp"
 
 namespace catsim
 {
-
-namespace
-{
-
-bool
-isPow2(std::uint64_t v)
-{
-    return v != 0 && (v & (v - 1)) == 0;
-}
-
-std::uint32_t
-log2u(std::uint64_t v)
-{
-    std::uint32_t l = 0;
-    while (v > 1) {
-        v >>= 1;
-        ++l;
-    }
-    return l;
-}
-
-std::uint32_t
-ctz64(std::uint64_t v)
-{
-#if defined(__GNUC__) || defined(__clang__)
-    return static_cast<std::uint32_t>(__builtin_ctzll(v));
-#else
-    std::uint32_t n = 0;
-    while (!(v & 1)) {
-        v >>= 1;
-        ++n;
-    }
-    return n;
-#endif
-}
-
-} // namespace
 
 CatTree::CatTree(Params params) : params_(std::move(params))
 {
@@ -64,7 +28,7 @@ CatTree::CatTree(Params params) : params_(std::move(params))
                      ") must be in [2, M=", M, "]");
     // ceil(log2(shapeM)): the depth budget the initial shape needs one
     // level of growth beyond (identical to log2(M) for a power of two).
-    const std::uint32_t cl2 = log2u(shapeM) + (isPow2(shapeM) ? 0 : 1);
+    const std::uint32_t cl2 = ceilLog2(shapeM);
     if (L < cl2 + 1)
         CATSIM_FATAL("CAT levels L=", L, " must exceed ceil(log2(M))=",
                      cl2);
@@ -90,9 +54,9 @@ CatTree::CatTree(Params params) : params_(std::move(params))
     // the (P - 2^d) lowest-address prefixes one level deeper than
     // d = floor(log2 P) (uneven deepest pre-split level).
     presplitLeaves_ = shapeM / 2;
-    presplitDepth_ = log2u(presplitLeaves_);
+    presplitDepth_ = floorLog2(presplitLeaves_);
     presplitExtra_ = presplitLeaves_ - (1u << presplitDepth_);
-    rowBits_ = log2u(params_.numRows);
+    rowBits_ = floorLog2(params_.numRows);
     jumpShift_ = rowBits_ - presplitDepth_;
     pool_ = params_.sharedPool;
     reset();

@@ -171,6 +171,15 @@ class CatTree
     Count totalMerges() const { return merges_; }
 
   private:
+    /**
+     * The tree bundle mirrors this tree's hot tables (jump, quad,
+     * counts, per-counter thresholds) into a bank-major arena and
+     * needs a narrow private port: it reads the structural state after
+     * every delegated mutation and writes `counts_` back before one.
+     * No other class gets this access.
+     */
+    friend class TreeBundle;
+
     static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
     /** Traversal bookkeeping for the leaf covering a row. */

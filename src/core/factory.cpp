@@ -11,6 +11,7 @@
 #include "core/prcat.hpp"
 #include "core/sca.hpp"
 #include "core/shared_pool.hpp"
+#include "core/tree_bundle.hpp"
 
 namespace catsim
 {
@@ -46,6 +47,80 @@ SchemeConfig::label() const
     if (banksPerPool > 1
         && (kind == SchemeKind::Prcat || kind == SchemeKind::Drcat))
         os << "_rank" << banksPerPool;
+    return os.str();
+}
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::None:
+        return "none";
+      case SchemeKind::Sca:
+        return "sca";
+      case SchemeKind::Pra:
+        return "pra";
+      case SchemeKind::Prcat:
+        return "prcat";
+      case SchemeKind::Drcat:
+        return "drcat";
+      case SchemeKind::CounterCache:
+        return "cc";
+    }
+    return "?";
+}
+
+SchemeConfig
+SchemeConfig::parse(const Config &cfg)
+{
+    SchemeConfig s;
+    s.kind = parseSchemeKind(cfg.getString("scheme", "drcat"));
+    s.numCounters =
+        static_cast<std::uint32_t>(cfg.getUint("counters", 64));
+    s.maxLevels = static_cast<std::uint32_t>(cfg.getUint("levels", 11));
+    s.threshold =
+        static_cast<std::uint32_t>(cfg.getUint("threshold", 32768));
+    s.praProbability = cfg.getDouble("p", 0.002);
+    s.cacheWays = static_cast<std::uint32_t>(cfg.getUint("ways", 8));
+    s.seed = cfg.getUint("schemeseed", 1);
+    s.lfsrPrng = cfg.getBool("lfsr", false);
+    // `eviction=` and `bankspool=` are the historical simulate CLI
+    // spellings, kept as aliases of the canonical keys.
+    s.evictionPolicy = parseEvictionPolicy(
+        cfg.getString("policy", cfg.getString("eviction", "legacy")));
+    s.banksPerPool = static_cast<std::uint32_t>(
+        cfg.getUint("pool", cfg.getUint("bankspool", 0)));
+    s.bundleWidth =
+        static_cast<std::uint32_t>(cfg.getUint("bundle", 0));
+    return s;
+}
+
+std::string
+SchemeConfig::format() const
+{
+    const SchemeConfig def;
+    std::ostringstream os;
+    os << "scheme=" << schemeKindName(kind);
+    if (numCounters != def.numCounters)
+        os << " counters=" << numCounters;
+    if (maxLevels != def.maxLevels)
+        os << " levels=" << maxLevels;
+    if (threshold != def.threshold)
+        os << " threshold=" << threshold;
+    if (praProbability != def.praProbability)
+        os << " p=" << praProbability;
+    if (cacheWays != def.cacheWays)
+        os << " ways=" << cacheWays;
+    if (seed != def.seed)
+        os << " schemeseed=" << seed;
+    if (lfsrPrng)
+        os << " lfsr=1";
+    if (evictionPolicy != def.evictionPolicy)
+        os << " policy=" << evictionPolicyName(evictionPolicy);
+    if (banksPerPool != def.banksPerPool)
+        os << " pool=" << banksPerPool;
+    if (bundleWidth != def.bundleWidth)
+        os << " bundle=" << bundleWidth;
     return os.str();
 }
 
@@ -123,6 +198,30 @@ wantsSharedPool(const SchemeConfig &config)
                || config.kind == SchemeKind::Drcat);
 }
 
+/**
+ * Banks per TreeBundle for this config, 1 meaning "standalone trees".
+ * Pooled groups must be covered by one bundle (the bundle maintains
+ * the lanes' cached thresholds across pool events, so an external
+ * sharer would invalidate them behind its back).
+ */
+std::uint32_t
+resolveBundleWidth(const SchemeConfig &config)
+{
+    if (config.kind != SchemeKind::Prcat
+        && config.kind != SchemeKind::Drcat)
+        return 1;
+    if (wantsSharedPool(config)) {
+        if (config.bundleWidth != 0 && config.bundleWidth != 1
+            && config.bundleWidth != config.banksPerPool)
+            CATSIM_FATAL("bundleWidth=", config.bundleWidth,
+                         " must cover the banksPerPool=",
+                         config.banksPerPool, " group (or be 0/1)");
+        return config.bundleWidth == 1 ? 1 : config.banksPerPool;
+    }
+    return config.bundleWidth == 0 ? kDefaultBundleWidth
+                                   : config.bundleWidth;
+}
+
 } // namespace
 
 std::unique_ptr<MitigationScheme>
@@ -142,6 +241,31 @@ makeBankSchemes(const SchemeConfig &config, RowAddr num_rows,
     std::vector<std::unique_ptr<MitigationScheme>> schemes;
     schemes.reserve(num_banks);
     const bool pooled = wantsSharedPool(config);
+    const std::uint32_t width = resolveBundleWidth(config);
+
+    if (width > 1) {
+        // Bundle-backed CAT group: one SoA arena per `width`
+        // consecutive banks (= one pool group when pooled, tail groups
+        // smaller).  Construction order matches the standalone loop
+        // bank for bank, so pooled trees acquire their pre-split
+        // charges in the same sequence.
+        for (std::uint32_t b = 0; b < num_banks; b += width) {
+            const std::uint32_t group = std::min(width, num_banks - b);
+            std::shared_ptr<SharedCounterPool> pool;
+            if (pooled)
+                pool = std::make_shared<SharedCounterPool>(
+                    config.numCounters * group);
+            auto bundle = std::make_shared<TreeBundle>(
+                num_rows, config.numCounters, config.maxLevels,
+                config.threshold, config.kind == SchemeKind::Drcat,
+                config.splitThresholds, std::move(pool), group);
+            for (std::uint32_t l = 0; l < group; ++l)
+                schemes.push_back(std::make_unique<BundledCatScheme>(
+                    bundle, l, num_rows));
+        }
+        return schemes;
+    }
+
     std::shared_ptr<SharedCounterPool> pool;
     for (std::uint32_t b = 0; b < num_banks; ++b) {
         if (pooled && b % config.banksPerPool == 0) {

@@ -17,6 +17,8 @@
 namespace catsim
 {
 
+class Config;
+
 /** Which mitigation scheme to build. */
 enum class SchemeKind
 {
@@ -57,13 +59,46 @@ struct SchemeConfig
      * makeScheme is a configuration error.
      */
     std::uint32_t banksPerPool = 0;
+    /**
+     * CAT bundling width for makeBankSchemes: how many consecutive
+     * banks share one structure-of-arrays TreeBundle (see
+     * core/tree_bundle.hpp).  0 picks the default (the pool group for
+     * pooled configs, kDefaultBundleWidth otherwise); 1 builds
+     * standalone per-bank trees (the pre-bundle construction, kept for
+     * differential tests); pooled configs require the bundle to cover
+     * the whole pool group, so values other than 0, 1 and banksPerPool
+     * are rejected there.  Purely an execution-layout knob - results
+     * are bit-identical for every width.
+     */
+    std::uint32_t bundleWidth = 0;
 
     /** Human-readable label, e.g. "DRCAT_64". */
     std::string label() const;
+
+    /**
+     * Read the scheme keys of the key=value surface: scheme=,
+     * counters=, levels=, threshold=, p=, lfsr=, ways=, schemeseed=,
+     * policy= (alias eviction=), pool= (alias bankspool=), bundle=.
+     * Missing keys keep the paper defaults above.
+     */
+    static SchemeConfig parse(const Config &cfg);
+
+    /**
+     * Canonical scheme keys, defaults omitted; parse(format())
+     * reproduces this config (custom splitThresholds excepted - they
+     * have no key).
+     */
+    std::string format() const;
 };
+
+/** Default CAT bundle width (banks per arena) for bundleWidth = 0. */
+constexpr std::uint32_t kDefaultBundleWidth = 16;
 
 /** Parse "none|sca|pra|prcat|drcat|cc" (case-insensitive). */
 SchemeKind parseSchemeKind(const std::string &name);
+
+/** Canonical scheme key, e.g. "drcat" (parseSchemeKind's inverse). */
+const char *schemeKindName(SchemeKind kind);
 
 /**
  * Build one per-bank scheme instance; returns nullptr for

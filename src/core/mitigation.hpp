@@ -21,6 +21,8 @@
 namespace catsim
 {
 
+class TreeBundle;
+
 /**
  * Victim-refresh order returned by a scheme for one activation.
  *
@@ -69,7 +71,34 @@ struct SchemeStats
 };
 
 /**
+ * How a scheme instance relates to batched multi-bank execution
+ * (MitigationScheme::bundleHint).  A bundle-backed scheme is one lane
+ * of a shared structure-of-arrays TreeBundle; drivers that hold a
+ * whole bank group (replay, sweeps) can collect lanes of the same
+ * bundle and step them together through TreeBundle::onActivateLanes
+ * instead of per-bank calls.
+ */
+struct BundleHint
+{
+    /** Shared bundle backing this scheme; null for standalone ones. */
+    TreeBundle *bundle = nullptr;
+    /** This scheme's lane within the bundle. */
+    std::uint32_t lane = 0;
+
+    bool bundled() const { return bundle != nullptr; }
+};
+
+/**
  * Base class for all mitigation schemes.  One instance per bank.
+ *
+ * The primary entry point is `onActivateBatch`: drivers that own a
+ * stream of activations deliver it in chunks, and schemes with a hot
+ * per-activation path run the whole chunk on local accumulators.  The
+ * single-row `onActivate` remains for callers that need the
+ * per-activation RefreshAction fed back immediately - the memory
+ * controller (a triggered refresh blocks the bank) and closed-loop
+ * stimulus sources (adaptive attackers observe every action) - and as
+ * the semantic definition a batch must match row for row.
  */
 class MitigationScheme
 {
@@ -82,12 +111,14 @@ class MitigationScheme
 
     /**
      * Observe one activation of @p row; returns the victim-refresh
-     * order (rowCount == 0 when nothing is to be done).
+     * order (rowCount == 0 when nothing is to be done).  Feedback-
+     * coupled callers only; batch-shaped callers use onActivateBatch.
      */
     virtual RefreshAction onActivate(RowAddr row) = 0;
 
     /**
-     * Observe a contiguous batch of activations (no epoch markers).
+     * PRIMARY ENTRY POINT: observe a contiguous batch of activations
+     * (no epoch markers).
      *
      * Semantically identical to calling onActivate once per row; the
      * per-row refresh actions are applied to the scheme's own stats
@@ -95,7 +126,8 @@ class MitigationScheme
      * read stats() afterwards.  The default forwards to onActivate;
      * schemes with a hot per-activation path (the CAT family)
      * override it to hoist the virtual dispatch and per-call stats
-     * bookkeeping out of the inner loop.
+     * bookkeeping out of the inner loop, and bundle-backed schemes
+     * run the chunk through the shared arena's lane-local descent.
      */
     virtual void
     onActivateBatch(const RowAddr *rows, std::size_t count)
@@ -113,7 +145,16 @@ class MitigationScheme
     /** Scheme name for reports, e.g. "DRCAT_64". */
     virtual std::string name() const = 0;
 
-    const SchemeStats &stats() const { return stats_; }
+    /**
+     * Bundle-capability query: non-null `bundle` means this instance
+     * is a lane of a shared TreeBundle and a group driver may batch
+     * it with sibling lanes.  Standalone schemes return the default.
+     */
+    virtual BundleHint bundleHint() const { return {}; }
+
+    /** Event counts so far (bundle-backed schemes override to read
+     *  their lane's accumulator inside the shared bundle). */
+    virtual const SchemeStats &stats() const { return stats_; }
     RowAddr numRows() const { return numRows_; }
 
   protected:

@@ -6,7 +6,7 @@ namespace catsim
 {
 
 CatTree::Params
-Prcat::makeParams(RowAddr num_rows, std::uint32_t num_counters,
+makeCatTreeParams(RowAddr num_rows, std::uint32_t num_counters,
                   std::uint32_t max_levels, std::uint32_t threshold,
                   bool enable_weights,
                   std::vector<std::uint32_t> split_thresholds,
@@ -46,9 +46,9 @@ Prcat::Prcat(RowAddr num_rows, std::uint32_t num_counters,
              std::shared_ptr<SharedCounterPool> pool)
     : MitigationScheme(num_rows),
       pool_(std::move(pool)),
-      tree_(makeParams(num_rows, num_counters, max_levels, threshold,
-                       enable_weights, std::move(split_thresholds),
-                       pool_.get()))
+      tree_(makeCatTreeParams(num_rows, num_counters, max_levels,
+                              threshold, enable_weights,
+                              std::move(split_thresholds), pool_.get()))
 {
 }
 

@@ -19,6 +19,21 @@
 namespace catsim
 {
 
+/**
+ * Canonical CatTree::Params for a per-bank CAT scheme: the paper's
+ * Section IV-D split schedule when @p split_thresholds is empty, and
+ * the rank-pool reshaping (capacity-wide numCounters, per-bank
+ * presplitCounters) when @p pool is attached.  Prcat/Drcat and the
+ * TreeBundle lanes all build their trees through this one function,
+ * which is what makes bundle-backed and standalone construction
+ * bit-identical.
+ */
+CatTree::Params makeCatTreeParams(
+    RowAddr num_rows, std::uint32_t num_counters,
+    std::uint32_t max_levels, std::uint32_t threshold,
+    bool enable_weights, std::vector<std::uint32_t> split_thresholds,
+    SharedCounterPool *pool);
+
 /** CAT scheme with periodic full reset. */
 class Prcat : public MitigationScheme
 {
@@ -66,14 +81,6 @@ class Prcat : public MitigationScheme
     // counters into the pool, so the pool must be destroyed after it.
     std::shared_ptr<SharedCounterPool> pool_;
     CatTree tree_;
-
-  private:
-    static CatTree::Params
-    makeParams(RowAddr num_rows, std::uint32_t num_counters,
-               std::uint32_t max_levels, std::uint32_t threshold,
-               bool enable_weights,
-               std::vector<std::uint32_t> split_thresholds,
-               SharedCounterPool *pool);
 };
 
 } // namespace catsim

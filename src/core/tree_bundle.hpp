@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Structure-of-arrays bundle of per-bank CAT trees (the ROADMAP's
+ * "SIMD/batched multi-tree hot path").
+ *
+ * A `makeBankSchemes()` group runs one identical CatTree per bank, and
+ * the simulators drive 8-64 of them in lockstep.  Stepping them one
+ * virtual call at a time leaves most of the win of PR 3's flattening
+ * on the table: every access is a function call, an AccessResult, and
+ * a cold pointer chase into that bank's own heap blocks.  The bundle
+ * packs the hot tables of all lanes - jump table, quad table, counter
+ * values, and two per-counter precomputes - into ONE arena-allocated
+ * contiguous block, laid out bank-major (lane 0's tables, then lane
+ * 1's, each lane padded to a cache line), and steps whole bank groups
+ * per call with a branchless lane-local descent.
+ *
+ * Fast path.  For the overwhelming majority of activations the tree
+ * does nothing but `++count`: the access is a pure increment whenever
+ * `count < thr`, where thr is the threshold `CatTree::access` would
+ * apply (the depth's split threshold when the leaf is splittable, the
+ * refresh threshold T otherwise).  The bundle therefore mirrors, per
+ * lane and per counter, the *effective threshold* `thr[c]` and the
+ * access's SRAM charge `sram[c] = depth - presplitDepth + 2 (+1
+ * pooled)`, both straight-line recomputable from the lane tree.  The
+ * descent is the same jump+quad walk as CatTree::leafSlotFor, run on
+ * the arena copies; when `counts[c] < thr[c]` the whole access is a
+ * table walk plus one increment, with no call, no branch on pool
+ * state, and no AccessResult.
+ *
+ * Slow path and bit-identity.  When the fast-path test fails, the
+ * authoritative per-lane CatTree takes over: the arena's counts are
+ * written back into the tree, `CatTree::access` performs the real
+ * split/refresh/reconfigure (including SharedCounterPool charging and
+ * DRCAT weights), and the lane's mirror is rebuilt from the tree.
+ * Because `thr[c]` is maintained conservatively - it never exceeds
+ * the threshold the tree itself would apply - a fast-path increment
+ * happens exactly when the tree would have incremented, so the bundle
+ * is bit-identical to per-bank CatTrees (and, transitively, to the
+ * frozen ReferenceCatTree) for every stream; tests/test_tree_bundle
+ * proves it differentially.  Conservative maintenance means: after
+ * any structural event (split, merge, epoch reset) the affected
+ * lane's mirror is rebuilt, and for pool-sharing bundles the
+ * *threshold* tables of every lane are refreshed, since one lane's
+ * growth changes its siblings' splittability.  A stale-but-lower
+ * threshold is always safe: it only sends an access down the slow
+ * path, where the tree applies the true rule.
+ *
+ * The index math uses the shared bit-trick helpers (common/bit.hpp,
+ * after SNIPPETS.md's poplibs Algorithm.hpp and the table-driven
+ * integer-log idiom); the arena is a single aligned allocation so a
+ * bundle is one contiguous block, resident together in cache.
+ */
+
+#ifndef CATSIM_CORE_TREE_BUNDLE_HPP
+#define CATSIM_CORE_TREE_BUNDLE_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cat_tree.hpp"
+#include "core/mitigation.hpp"
+#include "core/shared_pool.hpp"
+
+namespace catsim
+{
+
+/** A bank group's CAT trees packed into one bank-major SoA arena. */
+class TreeBundle
+{
+  public:
+    /**
+     * One lane's slice of a multi-lane batch
+     * (TreeBundle::onActivateLanes).
+     */
+    struct LaneBatch
+    {
+        std::uint32_t lane = 0;
+        const RowAddr *rows = nullptr;
+        std::size_t count = 0;
+    };
+
+    /**
+     * Build @p lanes identical trees from the canonical CAT
+     * parameters (see makeCatTreeParams).  @p pool, when set, is the
+     * group's shared counter budget: every lane draws growth from it,
+     * exactly like a makeBankSchemes pool group.  The bundle keeps
+     * the pool alive.
+     */
+    TreeBundle(RowAddr num_rows, std::uint32_t num_counters,
+               std::uint32_t max_levels, std::uint32_t threshold,
+               bool enable_weights,
+               std::vector<std::uint32_t> split_thresholds,
+               std::shared_ptr<SharedCounterPool> pool,
+               std::uint32_t lanes);
+
+    ~TreeBundle();
+
+    TreeBundle(const TreeBundle &) = delete;
+    TreeBundle &operator=(const TreeBundle &) = delete;
+
+    std::uint32_t lanes() const
+    {
+        return static_cast<std::uint32_t>(trees_.size());
+    }
+
+    /**
+     * One activation on one lane, with the per-activation
+     * RefreshAction a feedback-coupled caller needs.  Stats arithmetic
+     * is identical to Prcat::onActivate.
+     */
+    RefreshAction onActivate(std::uint32_t lane, RowAddr row);
+
+    /** A contiguous chunk on one lane (no epoch markers). */
+    void onActivateBatch(std::uint32_t lane, const RowAddr *rows,
+                         std::size_t count);
+
+    /**
+     * THE batched hot path: step several lanes through their chunks,
+     * always preserving each lane's own order.  Pool-sharing groups
+     * run a strict per-position round-robin across lanes (pool
+     * arbitration order on the slow path is part of the semantics);
+     * independent-lane groups run lane-major with a grouped
+     * branchless descent (SIMD where the host supports it) - any
+     * cross-lane order is bit-identical there, since lanes only
+     * couple through a shared pool.  Either way, per-lane results are
+     * bit-identical to per-lane onActivateBatch calls.
+     */
+    void onActivateLanes(const LaneBatch *batches, std::size_t count);
+
+    /**
+     * Epoch boundary for one lane: full reset for PRCAT-style lanes,
+     * counts-only for DRCAT-style ones (weights enabled), matching
+     * Prcat::onEpoch / Drcat::onEpoch.
+     */
+    void onEpoch(std::uint32_t lane);
+
+    /** Per-lane accumulated stats (what BundledCatScheme reports). */
+    const SchemeStats &laneStats(std::uint32_t lane) const
+    {
+        return stats_[lane];
+    }
+
+    /**
+     * The authoritative tree behind @p lane, with its counter values
+     * synced from the arena - probe-accurate for tests and reports.
+     */
+    const CatTree &tree(std::uint32_t lane) const;
+
+    /** The group's shared counter budget; null for private pools. */
+    const SharedCounterPool *sharedPool() const { return pool_.get(); }
+
+    /** Scheme label for one lane, e.g. "DRCAT_64_rank8". */
+    std::string laneName(std::uint32_t lane) const;
+
+    /** Arena bytes backing all lanes (one contiguous allocation). */
+    std::size_t arenaBytes() const { return arenaWords_ * 4; }
+
+    /**
+     * Which hot-path kernel this host runs: 2 = AVX-512 fused
+     * descent+resolve, 1 = AVX2 gather descent, 0 = portable scalar.
+     * Purely informational (all tiers are bit-identical); the perf
+     * gate uses it to pick the right throughput floor.
+     */
+    static int simdTier();
+
+  private:
+    /** Resolved arena offsets; lane l's table t starts at
+     *  arena_[l * laneStride_ + <table offset>]. */
+    std::uint32_t *laneBase(std::uint32_t lane)
+    {
+        return arena_.get() + std::size_t{lane} * laneStride_;
+    }
+    const std::uint32_t *laneBase(std::uint32_t lane) const
+    {
+        return arena_.get() + std::size_t{lane} * laneStride_;
+    }
+
+    /** Push the arena's counter values into the lane's tree (the tree
+     *  lags behind between slow-path events). */
+    void syncTreeCounts(std::uint32_t lane) const;
+    /** Rebuild the lane's whole mirror from its tree (structure,
+     *  counts, thresholds, SRAM charges). */
+    void rebuildLane(std::uint32_t lane);
+    /** Refresh only the effective-threshold table (cheap; used for
+     *  sibling lanes when a pool event changes splittability). */
+    void refreshThresholds(std::uint32_t lane);
+    /** Copy the tree's counts back into the arena (slow-path exit). */
+    void pullCounts(std::uint32_t lane);
+
+    /** Slow path: delegate one access to the authoritative tree and
+     *  re-sync the mirror(s). */
+    CatTree::AccessResult slowAccess(std::uint32_t lane, RowAddr row);
+
+    // Kept alive for the trees; destroyed after them (member order).
+    std::shared_ptr<SharedCounterPool> pool_;
+    std::vector<std::unique_ptr<CatTree>> trees_;
+    std::vector<SchemeStats> stats_;
+
+    // One contiguous allocation; per-lane layout (all uint32 words):
+    //   [0,        M)        counts
+    //   [M,       2M)        effective thresholds
+    //   [2M,      3M)        per-access SRAM charges
+    //   [3M,      3M + J)    jump table (J = 2^presplitDepth)
+    //   [3M + J,  3M+J+4M+2) quad table (4(M-1) live entries plus a
+    //                        zero pad: the branchless fixed-step
+    //                        descent keeps issuing quad loads after a
+    //                        row has already landed on a leaf, and a
+    //                        leaf code indexes up to 4M+1)
+    // padded to a 64-byte boundary, bank-major across lanes.
+    std::unique_ptr<std::uint32_t[]> arena_;
+    std::size_t arenaWords_ = 0;
+    std::size_t laneStride_ = 0;
+    std::uint32_t numCounters_ = 0; //!< M (pool capacity when pooled)
+    std::uint32_t jumpEntries_ = 0; //!< J
+    std::uint32_t jumpShift_ = 0;
+    /** Quad steps that take any jump-table entry to its deepest
+     *  possible leaf - the fixed trip count of the branchless
+     *  grouped descent. */
+    std::uint32_t descentSteps_ = 0;
+    std::uint32_t offThr_ = 0;      //!< lane-relative table offsets
+    std::uint32_t offSram_ = 0;
+    std::uint32_t offJump_ = 0;
+    std::uint32_t offQuad_ = 0;
+};
+
+/**
+ * One lane of a TreeBundle behind the MitigationScheme interface.
+ *
+ * makeBankSchemes hands these out in place of standalone Prcat/Drcat
+ * instances when a bank group is bundle-backed; per-bank callers see
+ * the exact scheme semantics (onActivate feedback, stats, names),
+ * while group drivers discover the shared bundle through bundleHint()
+ * and step whole groups per call.
+ */
+class BundledCatScheme : public MitigationScheme
+{
+  public:
+    BundledCatScheme(std::shared_ptr<TreeBundle> bundle,
+                     std::uint32_t lane, RowAddr num_rows)
+        : MitigationScheme(num_rows),
+          bundle_(std::move(bundle)),
+          lane_(lane)
+    {
+    }
+
+    RefreshAction
+    onActivate(RowAddr row) override
+    {
+        return bundle_->onActivate(lane_, row);
+    }
+
+    void
+    onActivateBatch(const RowAddr *rows, std::size_t count) override
+    {
+        bundle_->onActivateBatch(lane_, rows, count);
+    }
+
+    void onEpoch() override { bundle_->onEpoch(lane_); }
+
+    std::string name() const override
+    {
+        return bundle_->laneName(lane_);
+    }
+
+    BundleHint bundleHint() const override
+    {
+        BundleHint h;
+        h.bundle = bundle_.get();
+        h.lane = lane_;
+        return h;
+    }
+
+    const SchemeStats &stats() const override
+    {
+        return bundle_->laneStats(lane_);
+    }
+
+    /** The lane's authoritative tree, counts synced (for tests). */
+    const CatTree &tree() const { return bundle_->tree(lane_); }
+
+    const SharedCounterPool *sharedPool() const
+    {
+        return bundle_->sharedPool();
+    }
+
+  private:
+    std::shared_ptr<TreeBundle> bundle_;
+    std::uint32_t lane_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_TREE_BUNDLE_HPP

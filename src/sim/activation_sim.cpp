@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "core/tree_bundle.hpp"
 #include "sim/event_engine.hpp"
 
 namespace catsim
@@ -172,6 +173,84 @@ class PooledBankActor : public SimActor
     Count epochs_ = 0;
 };
 
+/**
+ * Bundle-backed replay group.  One actor drives ALL banks of one
+ * TreeBundle: every event pulls one chunk per live lane and steps the
+ * whole group through the arena's lockstep walk
+ * (TreeBundle::onActivateLanes) - one event-engine dispatch per bank
+ * GROUP, not per bank.  Non-pooled lanes are fully independent, so the
+ * interleaving is invisible in the results; closed-loop lanes fall
+ * back to the per-activation feedback loop within the same turn.
+ */
+class BundleGroupActor : public SimActor
+{
+  public:
+    struct Lane
+    {
+        ActivationSource *source;
+        MitigationScheme *scheme;
+        std::uint32_t bundleLane;
+        std::uint32_t bankIdx;
+        Count epochs = 0;
+        bool done = false;
+    };
+
+    BundleGroupActor(EventEngine &engine, TreeBundle &bundle,
+                     std::vector<Lane> lanes)
+        : engine_(engine), bundle_(bundle), lanes_(std::move(lanes))
+    {
+        id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
+        engine_.schedule(id_, 0.0);
+    }
+
+    void
+    onEvent(SimTime now) override
+    {
+        batches_.clear();
+        std::size_t live = 0;
+        for (Lane &lane : lanes_) {
+            if (lane.done)
+                continue;
+            const RowAddr *rows = nullptr;
+            std::size_t count = 0;
+            const SourceChunk chunk = lane.source->next(&rows, &count);
+            if (chunk == SourceChunk::End) {
+                lane.done = true;
+                continue;
+            }
+            ++live;
+            if (chunk == SourceChunk::Epoch) {
+                lane.scheme->onEpoch();
+                ++lane.epochs;
+            } else if (lane.source->closedLoop()) {
+                for (std::size_t i = 0; i < count; ++i) {
+                    const RefreshAction act =
+                        lane.scheme->onActivate(rows[i]);
+                    lane.source->onRefreshAction(rows[i], act);
+                }
+            } else {
+                batches_.push_back({lane.bundleLane, rows, count});
+            }
+        }
+        if (!batches_.empty())
+            bundle_.onActivateLanes(batches_.data(), batches_.size());
+        if (live == 0) {
+            engine_.retire(id_);
+            return;
+        }
+        engine_.schedule(id_, now + 1.0);
+    }
+
+    const std::vector<Lane> &lanes() const { return lanes_; }
+
+  private:
+    EventEngine &engine_;
+    TreeBundle &bundle_;
+    std::vector<Lane> lanes_;
+    std::vector<TreeBundle::LaneBatch> batches_;
+    ActorId id_ = 0;
+};
+
 } // namespace
 
 ReplayResult
@@ -211,6 +290,55 @@ replaySources(
         for (const auto &actor : actors)
             if (actor->bankIdx() == 0)
                 res.epochs = actor->epochs();
+        for (std::size_t b = 0; b < sources.size(); ++b)
+            if (sources[b])
+                res.stats.add(schemes[b]->stats());
+        return res;
+    }
+
+    const bool catFamily = scheme_config.kind == SchemeKind::Prcat
+                           || scheme_config.kind == SchemeKind::Drcat;
+    if (catFamily && scheme_config.bundleWidth != 1) {
+        // Private-pool CAT banks come back bundle-backed from the
+        // factory: drive each bundle's banks as ONE group actor so a
+        // single event dispatch steps the whole group through the
+        // arena's lockstep walk.  CAT trees are small, so holding
+        // every bank's scheme at once (unlike the sequential path's
+        // one-at-a-time rule, which exists for CounterCache's per-row
+        // arrays) costs nothing.
+        auto schemes = makeBankSchemes(
+            scheme_config, rows_per_bank,
+            static_cast<std::uint32_t>(sources.size()));
+        std::vector<std::unique_ptr<BundleGroupActor>> groups;
+        std::vector<BundleGroupActor::Lane> lanes;
+        TreeBundle *current = nullptr;
+        auto flush = [&]() {
+            if (!lanes.empty())
+                groups.push_back(std::make_unique<BundleGroupActor>(
+                    engine, *current, std::move(lanes)));
+            lanes.clear();
+        };
+        for (std::size_t b = 0; b < sources.size(); ++b) {
+            const BundleHint hint = schemes[b]->bundleHint();
+            if (!hint.bundled())
+                CATSIM_FATAL("factory returned a non-bundled CAT "
+                             "scheme for bundleWidth != 1");
+            if (hint.bundle != current) {
+                flush();
+                current = hint.bundle;
+            }
+            if (sources[b])
+                lanes.push_back({sources[b].get(), schemes[b].get(),
+                                 hint.lane,
+                                 static_cast<std::uint32_t>(b)});
+        }
+        flush();
+        engine.run();
+
+        for (const auto &group : groups)
+            for (const auto &lane : group->lanes())
+                if (lane.bankIdx == 0)
+                    res.epochs = lane.epochs;
         for (std::size_t b = 0; b < sources.size(); ++b)
             if (sources[b])
                 res.stats.add(schemes[b]->stats());

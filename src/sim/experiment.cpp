@@ -12,22 +12,6 @@
 namespace catsim
 {
 
-std::string
-WorkloadSpec::label() const
-{
-    if (!isAttack)
-        return name;
-    std::ostringstream os;
-    os << "attack-";
-    // The Gaussian default is omitted so pre-existing labels (and the
-    // on-disk baseline cache keys derived from them) stay unchanged.
-    if (attackKernelKind != AttackKernelKind::Gaussian)
-        os << attackKernelKindName(attackKernelKind) << '-';
-    os << attackModeName(attackMode) << "-k" << attackKernel
-       << "+" << name;
-    return os.str();
-}
-
 const char *
 attackerKindName(AttackerKind kind)
 {
@@ -42,10 +26,10 @@ attackerKindName(AttackerKind kind)
     return "?";
 }
 
-SystemConfig
+TimingConfig
 makeSystem(SystemPreset preset)
 {
-    SystemConfig sys;
+    TimingConfig sys;
     switch (preset) {
       case SystemPreset::DualCore2Ch:
         sys.geometry = DramGeometry::dualCore2Ch();
@@ -123,7 +107,7 @@ ExperimentRunner::scaledScheme(const SchemeConfig &scheme) const
 
 std::uint64_t
 ExperimentRunner::recordsFor(const WorkloadSpec &workload,
-                             const SystemConfig &sys) const
+                             const TimingConfig &sys) const
 {
     const WorkloadProfile &p = findWorkload(workload.name);
     const double epochCycles =
@@ -154,7 +138,7 @@ ExperimentRunner::cacheKey(SystemPreset preset,
 
 StreamFactory
 ExperimentRunner::streamFactory(const WorkloadSpec &workload,
-                                const SystemConfig &sys,
+                                const TimingConfig &sys,
                                 std::uint64_t records,
                                 const AddressMapper &mapper) const
 {
@@ -194,7 +178,7 @@ ExperimentRunner::computeBaseline(SystemPreset preset,
                                   const WorkloadSpec &workload,
                                   const std::string &key)
 {
-    SystemConfig sys = makeSystem(preset);
+    TimingConfig sys = makeSystem(preset);
     sys.scheme.kind = SchemeKind::None;
     sys.recordActivations = true;
     sys.epochScale = scale_;
@@ -272,7 +256,7 @@ EvalResult
 ExperimentRunner::evalFromReplay(const ReplayResult &replay,
                                  const SchemeConfig &scheme,
                                  double exec_seconds,
-                                 const SystemConfig &sys) const
+                                 const TimingConfig &sys) const
 {
     // Per-bank averages feed the per-bank power model.
     const double banks = static_cast<double>(replay.banks);
@@ -308,7 +292,7 @@ ExperimentRunner::evalCmrpo(SystemPreset preset,
                             const SchemeConfig &scheme)
 {
     const TimingResult &base = baseline(preset, workload);
-    const SystemConfig sys = makeSystem(preset);
+    const TimingConfig sys = makeSystem(preset);
     const SchemeConfig sim = scaledScheme(scheme);
 
     const ReplayResult replay = replayActivations(
@@ -317,7 +301,7 @@ ExperimentRunner::evalCmrpo(SystemPreset preset,
 }
 
 std::vector<std::unique_ptr<ActivationSource>>
-ExperimentRunner::adaptiveSources(const SystemConfig &sys,
+ExperimentRunner::adaptiveSources(const TimingConfig &sys,
                                   const AdaptiveAttackSpec &attack) const
 {
     const double epochCycles =
@@ -368,7 +352,7 @@ ExperimentRunner::evalAdaptive(SystemPreset preset,
                                const AdaptiveAttackSpec &attack,
                                const SchemeConfig &scheme)
 {
-    const SystemConfig sys = makeSystem(preset);
+    const TimingConfig sys = makeSystem(preset);
     const SchemeConfig sim = scaledScheme(scheme);
     const double epochCycles =
         static_cast<double>(sys.timing.refreshIntervalCycles()) * scale_;
@@ -451,7 +435,7 @@ ExperimentRunner::evalAdaptiveDisturbance(SystemPreset preset,
                                           const AdaptiveAttackSpec &attack,
                                           const SchemeConfig &scheme)
 {
-    const SystemConfig sys = makeSystem(preset);
+    const TimingConfig sys = makeSystem(preset);
     const SchemeConfig sim = scaledScheme(scheme);
     const RowAddr rows = sys.geometry.rowsPerBank;
     if (sim.kind == SchemeKind::None)
@@ -514,19 +498,19 @@ ExperimentRunner::evalAdaptiveEto(SystemPreset preset,
                                   const AdaptiveAttackSpec &attack,
                                   const SchemeConfig &scheme)
 {
-    SystemConfig sys = makeSystem(preset);
+    TimingConfig sys = makeSystem(preset);
     sys.recordActivations = false;
     sys.epochScale = scale_;
 
     // Sources are stateful (closed-loop ones mutate their aggressor
     // sets), so each leg gets a fresh, identically seeded fleet.
-    SystemConfig baseSys = sys;
+    TimingConfig baseSys = sys;
     baseSys.scheme = SchemeConfig{};
     baseSys.scheme.kind = SchemeKind::None;
     const auto baseSources = adaptiveSources(baseSys, attack);
     const TimingResult base = runTimingOnSources(baseSys, baseSources);
 
-    SystemConfig mitSys = sys;
+    TimingConfig mitSys = sys;
     mitSys.scheme = scaledScheme(scheme);
     const auto mitSources = adaptiveSources(mitSys, attack);
     const TimingResult mitigated =
@@ -547,7 +531,7 @@ ExperimentRunner::evalEto(SystemPreset preset,
     const BaselineEntry &entry = baselineEntry(preset, workload);
     const TimingResult &base = entry.timing;
 
-    SystemConfig sys = makeSystem(preset);
+    TimingConfig sys = makeSystem(preset);
     sys.scheme = scaledScheme(scheme);
     sys.recordActivations = false;
     sys.epochScale = scale_;

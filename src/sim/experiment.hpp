@@ -30,27 +30,13 @@
 #include "common/config.hpp"
 #include "energy/cmrpo.hpp"
 #include "sim/activation_sim.hpp"
+#include "sim/system_config.hpp"
 #include "sim/timing_sim.hpp"
 #include "trace/attack.hpp"
 #include "trace/workloads.hpp"
 
 namespace catsim
 {
-
-/** What the cores execute. */
-struct WorkloadSpec
-{
-    std::string name;              //!< workload profile name
-    bool isAttack = false;
-    AttackMode attackMode = AttackMode::Medium;
-    std::uint64_t attackKernel = 1; //!< 1..12
-    /** Target placement (Gaussian = paper default; MultiBank
-     *  synchronizes one target set across all banks). */
-    AttackKernelKind attackKernelKind = AttackKernelKind::Gaussian;
-    std::uint64_t seed = 42;
-
-    std::string label() const;
-};
 
 /** Closed-loop attacker families evaluated by bench_fig14_adaptive. */
 enum class AttackerKind
@@ -79,16 +65,8 @@ struct AdaptiveAttackSpec
     std::uint64_t epochs = 2;          //!< scaled 64 ms epochs simulated
 };
 
-/** System shape presets used in the paper. */
-enum class SystemPreset
-{
-    DualCore2Ch,  //!< Table I default
-    QuadCore2Ch,  //!< Section VIII-B
-    QuadCore4Ch,  //!< Section VIII-B
-};
-
-/** Build the SystemConfig skeleton for a preset. */
-SystemConfig makeSystem(SystemPreset preset);
+/** Build the TimingConfig skeleton for a preset. */
+TimingConfig makeSystem(SystemPreset preset);
 
 /** Per-workload/scheme evaluation results. */
 struct EvalResult
@@ -186,7 +164,7 @@ class ExperimentRunner
 
     /** Records per core targeting ~1.2 scaled epochs for a profile. */
     std::uint64_t recordsFor(const WorkloadSpec &workload,
-                             const SystemConfig &sys) const;
+                             const TimingConfig &sys) const;
 
     double scale() const { return scale_; }
 
@@ -225,18 +203,18 @@ class ExperimentRunner
     using BaselinePtr = std::shared_ptr<const BaselineEntry>;
 
     StreamFactory streamFactory(const WorkloadSpec &workload,
-                                const SystemConfig &sys,
+                                const TimingConfig &sys,
                                 std::uint64_t records,
                                 const AddressMapper &mapper) const;
     /** Live per-bank attacker sources for one closed-loop scenario. */
     std::vector<std::unique_ptr<ActivationSource>> adaptiveSources(
-        const SystemConfig &sys,
+        const TimingConfig &sys,
         const AdaptiveAttackSpec &attack) const;
     SchemeConfig scaledScheme(const SchemeConfig &scheme) const;
     EvalResult evalFromReplay(const ReplayResult &replay,
                               const SchemeConfig &scheme,
                               double exec_seconds,
-                              const SystemConfig &sys) const;
+                              const TimingConfig &sys) const;
     std::string cacheKey(SystemPreset preset,
                          const WorkloadSpec &workload) const;
     const BaselineEntry &baselineEntry(SystemPreset preset,

@@ -8,7 +8,7 @@ namespace catsim
 {
 
 TimingResult
-referenceRunTiming(const SystemConfig &config,
+referenceRunTiming(const TimingConfig &config,
                    const StreamFactory &make_stream)
 {
     DramSystem dram(config.geometry, config.timing);

@@ -19,7 +19,7 @@ namespace catsim
 {
 
 /** Historical scan-loop implementation of runTiming (frozen). */
-TimingResult referenceRunTiming(const SystemConfig &config,
+TimingResult referenceRunTiming(const TimingConfig &config,
                                 const StreamFactory &make_stream);
 
 } // namespace catsim

@@ -39,6 +39,14 @@ struct SweepCell
     /** Free-form variant id for runMetric callbacks (e.g. which split
      *  schedule an ablation cell evaluates); unused by runCmrpo/Eto. */
     std::uint64_t tag = 0;
+
+    /** The cell as one SystemConfig - the single parse/format/label
+     *  surface (sim/system_config.hpp); benches derive cell tags from
+     *  this instead of hand-assembling label strings. */
+    SystemConfig system() const { return {preset, workload, scheme}; }
+
+    /** "scheme@workload/preset" via SystemConfig::label(). */
+    std::string label() const { return system().label(); }
 };
 
 /**

@@ -101,7 +101,7 @@ class BankSourceActor : public SimActor
 };
 
 double
-scaledEpochCycles(const SystemConfig &config)
+scaledEpochCycles(const TimingConfig &config)
 {
     return static_cast<double>(config.timing.refreshIntervalCycles())
            * config.epochScale;
@@ -120,7 +120,7 @@ bankCoordinates(const DramGeometry &geom, std::uint32_t flat)
 }
 
 void
-finishResult(TimingResult &res, const SystemConfig &config, Cycle end,
+finishResult(TimingResult &res, const TimingConfig &config, Cycle end,
              const MemoryController &mc, const DramSystem &dram)
 {
     res.execCycles = end;
@@ -134,7 +134,7 @@ finishResult(TimingResult &res, const SystemConfig &config, Cycle end,
 } // namespace
 
 TimingResult
-runTiming(const SystemConfig &config, const StreamFactory &make_stream)
+runTiming(const TimingConfig &config, const StreamFactory &make_stream)
 {
     DramSystem dram(config.geometry, config.timing);
     AddressMapper mapper(config.geometry, config.mapping);
@@ -188,7 +188,7 @@ runTiming(const SystemConfig &config, const StreamFactory &make_stream)
 
 TimingResult
 runTimingOnSources(
-    const SystemConfig &config,
+    const TimingConfig &config,
     const std::vector<std::unique_ptr<ActivationSource>> &sources)
 {
     DramSystem dram(config.geometry, config.timing);

@@ -43,7 +43,7 @@ namespace catsim
 {
 
 /** Full system configuration for one timing run. */
-struct SystemConfig
+struct TimingConfig
 {
     DramGeometry geometry = DramGeometry::dualCore2Ch();
     DramTiming timing = DramTiming::ddr3_1600();
@@ -80,7 +80,7 @@ struct TimingResult
 };
 
 /** Run one closed-loop timing simulation with trace-driven cores. */
-TimingResult runTiming(const SystemConfig &config,
+TimingResult runTiming(const TimingConfig &config,
                        const StreamFactory &make_stream);
 
 /**
@@ -96,7 +96,7 @@ TimingResult runTiming(const SystemConfig &config,
  * per run.
  */
 TimingResult runTimingOnSources(
-    const SystemConfig &config,
+    const TimingConfig &config,
     const std::vector<std::unique_ptr<ActivationSource>> &sources);
 
 } // namespace catsim

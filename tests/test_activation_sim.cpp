@@ -20,7 +20,7 @@ namespace
 TimingResult
 recordedBaseline(std::uint64_t records)
 {
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.numCores = 2;
     sys.scheme.kind = SchemeKind::None;
@@ -53,7 +53,7 @@ TEST(ActivationSim, ReplayMatchesInlineScheme)
     const auto replay = replayActivations(
         base.bankStreams, cfg, DramGeometry::dualCore2Ch().rowsPerBank);
 
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.numCores = 2;
     sys.scheme = cfg;

@@ -23,10 +23,10 @@ namespace catsim
 namespace
 {
 
-SystemConfig
+TimingConfig
 smallSystem(SchemeKind kind)
 {
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.numCores = 2;
     sys.scheme.kind = kind;
@@ -39,7 +39,7 @@ smallSystem(SchemeKind kind)
 }
 
 StreamFactory
-workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
+workloadFactory(const TimingConfig &sys, const AddressMapper &mapper,
                 std::uint64_t records, const std::string &name)
 {
     const WorkloadProfile profile = findWorkload(name);
@@ -52,7 +52,7 @@ workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
 }
 
 StreamFactory
-attackFactory(const SystemConfig &sys, const AddressMapper &mapper,
+attackFactory(const TimingConfig &sys, const AddressMapper &mapper,
               std::uint64_t records, AttackMode mode,
               AttackKernelKind kind = AttackKernelKind::Gaussian)
 {
@@ -110,7 +110,7 @@ expectIdentical(const TimingResult &engine, const TimingResult &ref)
 }
 
 void
-runDiff(const SystemConfig &sys, std::uint64_t records,
+runDiff(const TimingConfig &sys, std::uint64_t records,
         const std::string &workload)
 {
     AddressMapper mapper(sys.geometry, sys.mapping);
@@ -135,7 +135,7 @@ TEST(EventEngineDiff, Fig09SchemeMatrix)
         {SchemeKind::Drcat, 64},
     };
     for (const Cell &cell : cellsMatrix) {
-        SystemConfig sys = smallSystem(cell.kind);
+        TimingConfig sys = smallSystem(cell.kind);
         sys.scheme.numCounters = cell.counters;
         if (cell.kind == SchemeKind::Pra)
             sys.scheme.praProbability = 1.0 / 2048.0;
@@ -148,7 +148,7 @@ TEST(EventEngineDiff, Fig09SchemeMatrix)
 TEST(EventEngineDiff, ThresholdVariants)
 {
     for (const std::uint32_t threshold : {2048u, 1024u}) {
-        SystemConfig sys = smallSystem(SchemeKind::Drcat);
+        TimingConfig sys = smallSystem(SchemeKind::Drcat);
         sys.scheme.threshold = threshold;
         SCOPED_TRACE(threshold);
         runDiff(sys, 40000, "comm3");
@@ -159,7 +159,7 @@ TEST(EventEngineDiff, ThresholdVariants)
 TEST(EventEngineDiff, WorkloadSpread)
 {
     for (const char *name : {"comm2", "comm4", "comm5"}) {
-        SystemConfig sys = smallSystem(SchemeKind::Prcat);
+        TimingConfig sys = smallSystem(SchemeKind::Prcat);
         SCOPED_TRACE(name);
         runDiff(sys, 30000, name);
     }
@@ -174,7 +174,7 @@ TEST(EventEngineDiff, Fig13AttackMatrix)
                                 SchemeKind::Drcat};
     for (const AttackMode mode : modes) {
         for (const SchemeKind kind : kinds) {
-            SystemConfig sys = smallSystem(kind);
+            TimingConfig sys = smallSystem(kind);
             sys.scheme.threshold = 1024; // triggers within short runs
             AddressMapper mapper(sys.geometry, sys.mapping);
             const auto factory =
@@ -189,7 +189,7 @@ TEST(EventEngineDiff, Fig13AttackMatrix)
 /** MultiBank placement synchronizes refresh bursts across banks. */
 TEST(EventEngineDiff, MultiBankAttackKernel)
 {
-    SystemConfig sys = smallSystem(SchemeKind::Drcat);
+    TimingConfig sys = smallSystem(SchemeKind::Drcat);
     sys.scheme.threshold = 1024;
     AddressMapper mapper(sys.geometry, sys.mapping);
     const auto factory =
@@ -203,7 +203,7 @@ TEST(EventEngineDiff, MultiBankAttackKernel)
 TEST(EventEngineDiff, CoreCounts)
 {
     for (const std::uint32_t cores : {1u, 2u, 4u}) {
-        SystemConfig sys = smallSystem(SchemeKind::Sca);
+        TimingConfig sys = smallSystem(SchemeKind::Sca);
         sys.numCores = cores;
         SCOPED_TRACE(cores);
         runDiff(sys, 25000, "comm1");
@@ -219,7 +219,7 @@ TEST(EventEngineDiff, CoreCounts)
 TEST(EventEngineDiff, EpochScalesAndMarkerPlacement)
 {
     for (const double scaleValue : {0.0005, 0.002, 0.01}) {
-        SystemConfig sys = smallSystem(SchemeKind::Prcat);
+        TimingConfig sys = smallSystem(SchemeKind::Prcat);
         sys.epochScale = scaleValue;
         SCOPED_TRACE(scaleValue);
         runDiff(sys, 50000, "comm1");
@@ -231,7 +231,7 @@ TEST(EventEngineDiff, RecordingOff)
 {
     for (const SchemeKind kind :
          {SchemeKind::None, SchemeKind::Drcat}) {
-        SystemConfig sys = smallSystem(kind);
+        TimingConfig sys = smallSystem(kind);
         sys.recordActivations = false;
         SCOPED_TRACE(static_cast<int>(kind));
         runDiff(sys, 40000, "comm2");
@@ -241,7 +241,7 @@ TEST(EventEngineDiff, RecordingOff)
 /** Baseline (no scheme) with recording: the experiment-cache shape. */
 TEST(EventEngineDiff, BaselineRecordedStreams)
 {
-    SystemConfig sys = smallSystem(SchemeKind::None);
+    TimingConfig sys = smallSystem(SchemeKind::None);
     runDiff(sys, 60000, "comm1");
 }
 

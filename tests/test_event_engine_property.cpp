@@ -75,7 +75,7 @@ workloadNames()
 }
 
 /** One seeded random system configuration. */
-SystemConfig
+TimingConfig
 randomSystem(std::mt19937_64 &rng, std::string *workload_out)
 {
     const SchemeKind kinds[] = {SchemeKind::None, SchemeKind::Sca,
@@ -86,7 +86,7 @@ randomSystem(std::mt19937_64 &rng, std::string *workload_out)
         return static_cast<std::size_t>(rng() % n);
     };
 
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.numCores = static_cast<std::uint32_t>(1 + pick(4));
     sys.scheme.kind = kinds[pick(6)];
@@ -111,7 +111,7 @@ randomSystem(std::mt19937_64 &rng, std::string *workload_out)
 }
 
 StreamFactory
-workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
+workloadFactory(const TimingConfig &sys, const AddressMapper &mapper,
                 std::uint64_t records, const std::string &name)
 {
     const WorkloadProfile profile = findWorkload(name);
@@ -150,7 +150,7 @@ checkRandomGrid(std::uint64_t seed, int configs, std::uint64_t records)
     std::mt19937_64 rng(seed);
     for (int i = 0; i < configs; ++i) {
         std::string workload;
-        const SystemConfig sys = randomSystem(rng, &workload);
+        const TimingConfig sys = randomSystem(rng, &workload);
         SCOPED_TRACE(testing::Message()
                      << "config " << i << " workload " << workload
                      << " scheme "

@@ -15,6 +15,7 @@
 #include "core/prcat.hpp"
 #include "core/shared_pool.hpp"
 #include "core/split_thresholds.hpp"
+#include "core/tree_bundle.hpp"
 #include "sim/activation_sim.hpp"
 
 namespace catsim
@@ -167,9 +168,15 @@ TEST(SharedPoolFactory, GroupsConsecutiveBanksPerPool)
     auto schemes = makeBankSchemes(cfg, 65536, 10);
     ASSERT_EQ(schemes.size(), 10u);
     std::vector<const SharedCounterPool *> pools;
-    for (const auto &s : schemes)
-        pools.push_back(
-            dynamic_cast<const Prcat &>(*s).sharedPool());
+    for (const auto &s : schemes) {
+        // Pooled CAT groups come back bundle-backed by default; the
+        // group's pool is reachable either way.
+        const auto hint = s->bundleHint();
+        pools.push_back(hint.bundled()
+                            ? hint.bundle->sharedPool()
+                            : dynamic_cast<const Prcat &>(*s)
+                                  .sharedPool());
+    }
     // Banks 0-3 share, 4-7 share, 8-9 form a short tail group.
     for (int b = 1; b < 4; ++b)
         EXPECT_EQ(pools[b], pools[0]);

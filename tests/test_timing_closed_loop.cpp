@@ -21,10 +21,10 @@ namespace catsim
 namespace
 {
 
-SystemConfig
+TimingConfig
 stimulusSystem(SchemeKind kind)
 {
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.scheme.kind = kind;
     sys.scheme.numCounters = 64;
@@ -38,7 +38,7 @@ stimulusSystem(SchemeKind kind)
 
 /** One identically seeded attacker per bank, open or closed loop. */
 std::vector<std::unique_ptr<ActivationSource>>
-makeFleet(const SystemConfig &sys, bool refresh_aware,
+makeFleet(const TimingConfig &sys, bool refresh_aware,
           std::uint64_t acts_per_epoch = 20000,
           std::uint64_t epochs = 1)
 {
@@ -102,7 +102,7 @@ paperScheme(SchemeKind kind)
 
 TEST(TimingClosedLoop, BaselineFleetRunsToCompletion)
 {
-    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    TimingConfig sys = stimulusSystem(SchemeKind::None);
     const auto fleet = makeFleet(sys, false, 5000);
     const TimingResult res = runTimingOnSources(sys, fleet);
     // Every bank delivered its full stream through the controller.
@@ -115,7 +115,7 @@ TEST(TimingClosedLoop, BaselineFleetRunsToCompletion)
 
 TEST(TimingClosedLoop, NullSlotsLeaveBanksIdle)
 {
-    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    TimingConfig sys = stimulusSystem(SchemeKind::None);
     auto fleet = makeFleet(sys, false, 5000);
     fleet[1].reset();
     fleet[7].reset();
@@ -126,7 +126,7 @@ TEST(TimingClosedLoop, NullSlotsLeaveBanksIdle)
 
 TEST(TimingClosedLoop, RecordsStreamsWithEpochMarkers)
 {
-    SystemConfig sys = stimulusSystem(SchemeKind::None);
+    TimingConfig sys = stimulusSystem(SchemeKind::None);
     sys.recordActivations = true;
     const auto fleet = makeFleet(sys, false, 30000);
     const TimingResult res = runTimingOnSources(sys, fleet);
@@ -144,11 +144,11 @@ TEST(TimingClosedLoop, RecordsStreamsWithEpochMarkers)
 
 TEST(TimingClosedLoop, MitigationBlocksTheHammeredBank)
 {
-    SystemConfig base = stimulusSystem(SchemeKind::None);
+    TimingConfig base = stimulusSystem(SchemeKind::None);
     const TimingResult b =
         runTimingOnSources(base, makeFleet(base, false));
 
-    SystemConfig mit = stimulusSystem(SchemeKind::Drcat);
+    TimingConfig mit = stimulusSystem(SchemeKind::Drcat);
     const TimingResult m =
         runTimingOnSources(mit, makeFleet(mit, false));
 
@@ -162,7 +162,7 @@ TEST(TimingClosedLoop, RefreshAwareReAimsOnTimingPath)
     for (const SchemeKind kind :
          {SchemeKind::Prcat, SchemeKind::Drcat}) {
         SCOPED_TRACE(static_cast<int>(kind));
-        SystemConfig sys = stimulusSystem(kind);
+        TimingConfig sys = stimulusSystem(kind);
 
         const auto openFleet = makeFleet(sys, false);
         const TimingResult statics =
@@ -188,7 +188,7 @@ TEST(TimingClosedLoop, RefreshAwareReAimsOnTimingPath)
 
 TEST(TimingClosedLoop, ExactCountingStaysFlatUnderReAiming)
 {
-    SystemConfig sys = stimulusSystem(SchemeKind::CounterCache);
+    TimingConfig sys = stimulusSystem(SchemeKind::CounterCache);
 
     const TimingResult statics =
         runTimingOnSources(sys, makeFleet(sys, false));

@@ -14,10 +14,10 @@ namespace catsim
 namespace
 {
 
-SystemConfig
+TimingConfig
 smallSystem(SchemeKind kind = SchemeKind::None)
 {
-    SystemConfig sys;
+    TimingConfig sys;
     sys.geometry = DramGeometry::dualCore2Ch();
     sys.numCores = 2;
     sys.scheme.kind = kind;
@@ -29,7 +29,7 @@ smallSystem(SchemeKind kind = SchemeKind::None)
 }
 
 StreamFactory
-workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
+workloadFactory(const TimingConfig &sys, const AddressMapper &mapper,
                 std::uint64_t records, const std::string &name = "comm1")
 {
     const WorkloadProfile profile = findWorkload(name);
@@ -45,7 +45,7 @@ workloadFactory(const SystemConfig &sys, const AddressMapper &mapper,
 
 TEST(TimingSim, BaselineRunsToCompletion)
 {
-    SystemConfig sys = smallSystem();
+    TimingConfig sys = smallSystem();
     AddressMapper mapper(sys.geometry, sys.mapping);
     auto res = runTiming(sys, workloadFactory(sys, mapper, 20000));
     EXPECT_GT(res.execCycles, 0u);
@@ -57,7 +57,7 @@ TEST(TimingSim, BaselineRunsToCompletion)
 
 TEST(TimingSim, RecordsActivationStreams)
 {
-    SystemConfig sys = smallSystem();
+    TimingConfig sys = smallSystem();
     sys.recordActivations = true;
     AddressMapper mapper(sys.geometry, sys.mapping);
     auto res = runTiming(sys, workloadFactory(sys, mapper, 20000));
@@ -72,7 +72,7 @@ TEST(TimingSim, RecordsActivationStreams)
 
 TEST(TimingSim, EpochMarkersAppear)
 {
-    SystemConfig sys = smallSystem();
+    TimingConfig sys = smallSystem();
     sys.recordActivations = true;
     AddressMapper mapper(sys.geometry, sys.mapping);
     auto res = runTiming(sys, workloadFactory(sys, mapper, 100000));
@@ -85,11 +85,11 @@ TEST(TimingSim, EpochMarkersAppear)
 
 TEST(TimingSim, MoreCoresMoreTraffic)
 {
-    SystemConfig sys2 = smallSystem();
+    TimingConfig sys2 = smallSystem();
     AddressMapper mapper(sys2.geometry, sys2.mapping);
     auto res2 = runTiming(sys2, workloadFactory(sys2, mapper, 20000));
 
-    SystemConfig sys4 = smallSystem();
+    TimingConfig sys4 = smallSystem();
     sys4.numCores = 4;
     auto res4 = runTiming(sys4, workloadFactory(sys4, mapper, 20000));
     EXPECT_EQ(res4.totalActivations, 2 * res2.totalActivations);
@@ -98,14 +98,14 @@ TEST(TimingSim, MoreCoresMoreTraffic)
 
 TEST(TimingSim, MitigationAddsOverhead)
 {
-    SystemConfig base = smallSystem(SchemeKind::None);
+    TimingConfig base = smallSystem(SchemeKind::None);
     base.epochScale = 0.02; // long epochs so counters reach threshold
     AddressMapper mapper(base.geometry, base.mapping);
     auto b = runTiming(base, workloadFactory(base, mapper, 150000));
 
     // An aggressive SCA (tiny threshold, few counters -> huge refresh
     // ranges) must slow the run down and refresh rows.
-    SystemConfig mit = smallSystem(SchemeKind::Sca);
+    TimingConfig mit = smallSystem(SchemeKind::Sca);
     mit.epochScale = 0.02;
     mit.scheme.numCounters = 32;
     mit.scheme.threshold = 256;
@@ -117,7 +117,7 @@ TEST(TimingSim, MitigationAddsOverhead)
 
 TEST(TimingSim, DeterministicAcrossRuns)
 {
-    SystemConfig sys = smallSystem(SchemeKind::Drcat);
+    TimingConfig sys = smallSystem(SchemeKind::Drcat);
     AddressMapper mapper(sys.geometry, sys.mapping);
     auto a = runTiming(sys, workloadFactory(sys, mapper, 30000));
     auto b = runTiming(sys, workloadFactory(sys, mapper, 30000));
@@ -128,7 +128,7 @@ TEST(TimingSim, DeterministicAcrossRuns)
 
 TEST(TimingSim, SchemeStatsMatchDramCounters)
 {
-    SystemConfig sys = smallSystem(SchemeKind::Sca);
+    TimingConfig sys = smallSystem(SchemeKind::Sca);
     sys.scheme.threshold = 512;
     AddressMapper mapper(sys.geometry, sys.mapping);
     auto res = runTiming(sys, workloadFactory(sys, mapper, 100000));
