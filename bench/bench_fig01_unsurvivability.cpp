@@ -7,10 +7,12 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/table.hpp"
 #include "reliability/montecarlo.hpp"
 #include "reliability/unsurvivability.hpp"
+#include "sim/checkpoint.hpp"
 #include "bench_common.hpp"
 
 using namespace catsim;
@@ -19,6 +21,15 @@ int
 main()
 {
     benchBanner("Fig 1: PRA unsurvivability (5 years)", 1.0);
+
+    // Crash safety: with CATSIM_CHECKPOINT=dir the Monte-Carlo section
+    // journals each trial batch; a killed run resumes from the journal
+    // and prints byte-identical output.
+    std::unique_ptr<CheckpointJournal> journal;
+    const std::string ckptDir = checkpointDirFromEnv();
+    if (!ckptDir.empty())
+        journal =
+            std::make_unique<CheckpointJournal>(ckptDir, "fig01-mc-v1");
 
     // Paper setting: "Assuming mild row accesses during refresh
     // intervals, we set Q0 to 10, 15, 20, and 40" for T = 32K..8K.
@@ -35,6 +46,11 @@ main()
                 praUnsurvivability(thresholds[i], p, q0s[i], 5.0);
             beats += u < kChipkillUnsurvivability;
             row.push_back(TextTable::sci(u, 2));
+            // Reference-guard the analytic curve at one p per column.
+            if (p > 0.0049 && p < 0.0051)
+                benchMetric("unsurvivability_p005_T"
+                                + std::to_string(thresholds[i]),
+                            u);
         }
         row.push_back(std::to_string(beats) + "/4");
         table.addRow(std::move(row));
@@ -59,25 +75,33 @@ main()
     }
     minp.print(std::cout);
 
-    // Section III-A Monte-Carlo: LFSR-based PRNG vs true PRNG.
+    // Section III-A Monte-Carlo: LFSR-based PRNG vs true PRNG, as a
+    // resumable batched campaign (one journaled record per batch).
     std::cout << "\nMonte-Carlo, T=16K p=0.005 (Section III-A):\n";
     TextTable mc({"PRNG", "window failure prob",
                   "unsurvivability after 25 intervals (Q0=20)"});
     {
-        TruePrng good(2024);
-        const auto r = praWindowFailures(good, 16384, 0.005, 3000);
+        McCampaignSpec spec;
+        spec.prng = McCampaignSpec::Prng::True;
+        spec.seed = 2024;
+        const auto r = praWindowFailuresResumable(spec, journal.get());
         mc.addRow({"true-prng", TextTable::sci(r.windowFailureProb, 2),
                    TextTable::sci(r.unsurvivabilityAfter(20.0, 25.0),
                                   2)});
+        benchMetric("mc_window_failure_true_prng", r.windowFailureProb);
     }
     {
         // p=0.005 uses 8-bit draws whose only accepting word is zero;
         // a maximal 8-bit LFSR never emits 8 consecutive zeros.
-        LfsrPrng cheap(8, 0xAB);
-        const auto r = praWindowFailures(cheap, 16384, 0.005, 3000);
+        McCampaignSpec spec;
+        spec.prng = McCampaignSpec::Prng::Lfsr;
+        spec.lfsrWidth = 8;
+        spec.seed = 0xAB;
+        const auto r = praWindowFailuresResumable(spec, journal.get());
         mc.addRow({"lfsr-prng", TextTable::sci(r.windowFailureProb, 2),
                    TextTable::sci(r.unsurvivabilityAfter(20.0, 25.0),
                                   2)});
+        benchMetric("mc_window_failure_lfsr_prng", r.windowFailureProb);
     }
     mc.print(std::cout);
     std::cout << "\nExpected shape: unsurvivability rises exponentially "

@@ -15,6 +15,11 @@
 #   CATSIM_BASELINE_CACHE  optional dir for baseline stream reuse
 #                  across runs (not set by default: trajectory numbers
 #                  should include the baseline cost unless asked)
+#   CATSIM_CHECKPOINT  optional dir for the crash-safe run journal;
+#                  a killed invocation re-run with the same dir resumes
+#                  finished sweep cells / Monte-Carlo batches and
+#                  prints byte-identical @@METRIC lines (EXPERIMENTS.md
+#                  Section 3b)
 #   BENCH_FILTER   only run benches whose name matches this grep regex
 #   CATSIM_CHECK_METRICS  set to 0 to skip the reference-metric
 #                  regression check (scripts/check_metrics.py); the
@@ -63,7 +68,8 @@ for bench in "${BUILD_DIR}"/bench/bench_*; do
     log="${OUT_DIR}/${name}.log"
     echo "==> ${name} (scale=${SCALE}, jobs=${JOBS})"
     start="$(now_ms)"
-    if CATSIM_SCALE="${SCALE}" CATSIM_JOBS="${JOBS}" "${bench}" \
+    if CATSIM_SCALE="${SCALE}" CATSIM_JOBS="${JOBS}" \
+        CATSIM_CHECKPOINT="${CATSIM_CHECKPOINT:-}" "${bench}" \
         > "${log}" 2>&1; then
         exit_code=0
     else

@@ -1,0 +1,56 @@
+#include "durable_io.hpp"
+
+#include <filesystem>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace catsim
+{
+
+namespace
+{
+
+#ifndef _WIN32
+bool
+fsyncPath(const char *path, int flags)
+{
+    const int fd = ::open(path, flags);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+#endif
+
+} // namespace
+
+bool
+syncFile(const std::string &path)
+{
+#ifdef _WIN32
+    (void)path;
+    return false;
+#else
+    return fsyncPath(path.c_str(), O_RDONLY);
+#endif
+}
+
+bool
+syncParentDir(const std::string &path)
+{
+#ifdef _WIN32
+    (void)path;
+    return false;
+#else
+    std::filesystem::path p(path);
+    const std::filesystem::path dir =
+        p.has_parent_path() ? p.parent_path() : ".";
+    return fsyncPath(dir.string().c_str(), O_RDONLY | O_DIRECTORY);
+#endif
+}
+
+} // namespace catsim

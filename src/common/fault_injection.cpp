@@ -1,0 +1,136 @@
+#include "fault_injection.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace catsim
+{
+
+namespace fault
+{
+
+namespace detail
+{
+
+std::atomic<bool> gArmed{false};
+
+namespace
+{
+
+struct Site
+{
+    std::set<std::uint64_t> armedHits; //!< 1-based hit indices
+    bool every = false;                //!< "site@*"
+    std::uint64_t hits = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Parse "site@nth[,site@nth...]" into the registry (caller locks). */
+void
+parseInto(Registry &r, const std::string &spec)
+{
+    r.sites.clear();
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto at = item.find('@');
+        if (at == std::string::npos || at == 0) {
+            CATSIM_WARN("fault injection: ignoring malformed "
+                        "fail-point '", item, "' (want site@nth)");
+            continue;
+        }
+        const std::string site = item.substr(0, at);
+        const std::string nth = item.substr(at + 1);
+        if (nth == "*") {
+            r.sites[site].every = true;
+            continue;
+        }
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(nth.c_str(), &end, 10);
+        if (end == nth.c_str() || *end != '\0' || v == 0) {
+            CATSIM_WARN("fault injection: ignoring fail-point '", item,
+                        "' (nth must be a positive integer or *)");
+            continue;
+        }
+        r.sites[site].armedHits.insert(v);
+    }
+    gArmed.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+/** Arms the registry from CATSIM_FAILPOINTS before main(). */
+[[maybe_unused]] const bool kEnvInit = [] {
+    if (const char *env = std::getenv("CATSIM_FAILPOINTS")) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        parseInto(r, env);
+        if (!r.sites.empty())
+            CATSIM_INFORM("fault injection armed: ", env);
+    }
+    return true;
+}();
+
+} // namespace
+
+bool
+shouldFailSlow(const char *site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end())
+        return false;
+    Site &s = it->second;
+    ++s.hits;
+    return s.every || s.armedHits.count(s.hits) > 0;
+}
+
+} // namespace detail
+
+void
+maybeThrow(const char *site)
+{
+    if (shouldFail(site))
+        throw FaultInjected(std::string("fail-point '") + site
+                            + "' fired");
+}
+
+void
+installFailpoints(const std::string &spec)
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    detail::parseInto(r, spec);
+}
+
+std::uint64_t
+hitCount(const std::string &site)
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+} // namespace fault
+
+} // namespace catsim

@@ -2,6 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/fault_injection.hpp"
 
 namespace catsim
 {
@@ -40,28 +44,33 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::recordException()
+ThreadPool::recordException(std::size_t seq)
 {
-    // Caller holds mutex_.
-    if (!firstError_)
+    // Caller holds mutex_.  Lowest submission sequence wins so the
+    // reported error does not depend on thread completion order.
+    if (!firstError_ || seq < firstErrorSeq_) {
         firstError_ = std::current_exception();
+        firstErrorSeq_ = seq;
+    }
 }
 
 void
 ThreadPool::submit(std::function<void()> job)
 {
     if (jobs_ == 1) {
+        const std::size_t seq = submitSeq_++;
         try {
+            fault::maybeThrow("pool_task");
             job();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
-            recordException();
+            recordException(seq);
         }
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(job));
+        queue_.emplace_back(submitSeq_++, std::move(job));
         ++inFlight_;
     }
     workReady_.notify_one();
@@ -74,9 +83,17 @@ ThreadPool::wait()
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
     if (firstError_) {
         std::exception_ptr err = firstError_;
+        const std::size_t seq = firstErrorSeq_;
         firstError_ = nullptr;
         lock.unlock();
-        std::rethrow_exception(err);
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            throw std::runtime_error("task " + std::to_string(seq) + ": "
+                                     + e.what());
+        }
+        // Non-std exceptions carry no message to wrap; let them
+        // propagate as-is.
     }
 }
 
@@ -84,6 +101,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
+        std::size_t seq = 0;
         std::function<void()> job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -91,14 +109,16 @@ ThreadPool::workerLoop()
                 lock, [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stopping_ and drained
-            job = std::move(queue_.front());
+            seq = queue_.front().first;
+            job = std::move(queue_.front().second);
             queue_.pop_front();
         }
         try {
+            fault::maybeThrow("pool_task");
             job();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
-            recordException();
+            recordException(seq);
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -116,33 +136,61 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
         return;
     const std::size_t workers = std::min(jobs ? jobs : 1, n);
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fault::maybeThrow("parallel_cell");
+                fn(i);
+            } catch (const std::exception &e) {
+                throw std::runtime_error(
+                    "cell " + std::to_string(i) + ": " + e.what());
+            }
+        }
         return;
     }
     // Dynamic index handout: cheap and balances uneven cells.  A
     // failed call poisons the grid so other workers stop picking up
     // new indices (matching the serial path's stop-at-first-throw)
-    // instead of burning through the remaining cells.
+    // instead of burning through the remaining cells.  Errors are
+    // recorded here, not via the pool, so the lowest failing *cell*
+    // index wins regardless of which worker hit it - the rethrown
+    // message is stable across job counts whenever the set of failing
+    // cells is.
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
+    std::mutex errMutex;
+    std::size_t errIndex = n;
+    std::exception_ptr errPtr;
     ThreadPool pool(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-        pool.submit([&next, &failed, &fn, n] {
+        pool.submit([&] {
             for (std::size_t i = next.fetch_add(1); i < n;
                  i = next.fetch_add(1)) {
                 if (failed.load(std::memory_order_relaxed))
                     return;
                 try {
+                    fault::maybeThrow("parallel_cell");
                     fn(i);
                 } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (!errPtr || i < errIndex) {
+                        errPtr = std::current_exception();
+                        errIndex = i;
+                    }
                     failed.store(true, std::memory_order_relaxed);
-                    throw; // recorded by the pool, rethrown in wait()
                 }
             }
         });
     }
     pool.wait();
+    if (errPtr) {
+        try {
+            std::rethrow_exception(errPtr);
+        } catch (const std::exception &e) {
+            throw std::runtime_error(
+                "cell " + std::to_string(errIndex) + ": " + e.what());
+        }
+        // Non-std exceptions propagate unwrapped.
+    }
 }
 
 } // namespace catsim

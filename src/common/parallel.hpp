@@ -24,6 +24,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace catsim
@@ -58,31 +59,41 @@ class ThreadPool
     void submit(std::function<void()> job);
 
     /**
-     * Block until every submitted job has finished.  Rethrows the
-     * first exception any job raised (the rest are dropped).
+     * Block until every submitted job has finished.  If any jobs
+     * threw, rethrows the error of the job with the LOWEST submission
+     * index (the rest are dropped), wrapped as a std::runtime_error
+     * whose message is prefixed with "task N:" - so the reported
+     * failure is deterministic across thread schedules whenever the
+     * set of failing jobs is.  Non-std exceptions propagate unwrapped.
      */
     void wait();
 
   private:
     void workerLoop();
-    void recordException();
+    void recordException(std::size_t seq);
 
     std::size_t jobs_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::pair<std::size_t, std::function<void()>>> queue_;
     std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allDone_;
     std::size_t inFlight_ = 0;
+    std::size_t submitSeq_ = 0;
     bool stopping_ = false;
     std::exception_ptr firstError_;
+    std::size_t firstErrorSeq_ = 0;
 };
 
 /**
  * Run fn(0) .. fn(n - 1) across @p jobs workers and block until all
  * complete.  Indices are handed out dynamically, so per-index work may
  * be uneven; with jobs <= 1 the calls happen in index order on the
- * calling thread.  Rethrows the first exception raised by any call.
+ * calling thread.  If calls threw, rethrows the error of the lowest
+ * failing index as a std::runtime_error prefixed with "cell N:" (among
+ * the cells that actually ran before the grid was poisoned), so the
+ * surfaced failure names a cell rather than a thread.  Non-std
+ * exceptions propagate unwrapped.
  */
 void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
                  std::size_t jobs = defaultJobs());

@@ -17,11 +17,14 @@
 #define CATSIM_RELIABILITY_MONTECARLO_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "core/prng_source.hpp"
 
 namespace catsim
 {
+
+class CheckpointJournal;
 
 /** Result of a window-failure Monte-Carlo run. */
 struct McResult
@@ -48,6 +51,46 @@ struct McResult
  */
 McResult praWindowFailures(PrngSource &prng, std::uint32_t threshold,
                            double p, std::uint64_t windows);
+
+/**
+ * A crash-safe Monte-Carlo campaign: @p windows trials split into
+ * batches of @p windowsPerBatch, each batch drawing from its own PRNG
+ * stream seeded deterministically from (seed, batch index).  Every
+ * batch is therefore a pure function of the spec, so finished batches
+ * can be journaled and skipped on resume - a killed-and-resumed
+ * campaign accumulates exactly the same failedWindows count as an
+ * uninterrupted one.  (Per-batch streams make the counts differ
+ * slightly from a praWindowFailures call over one continuous stream;
+ * the statistics are equivalent.)
+ */
+struct McCampaignSpec
+{
+    enum class Prng
+    {
+        True, //!< TruePrng (xoshiro-backed high-quality source)
+        Lfsr, //!< LfsrPrng (the cheap correlated source)
+    };
+
+    Prng prng = Prng::True;
+    unsigned lfsrWidth = 16;          //!< LFSR register width
+    std::uint64_t seed = 2024;        //!< campaign seed base
+    std::uint32_t threshold = 16384;  //!< window length T
+    double p = 0.005;                 //!< refresh probability
+    std::uint64_t windows = 3000;     //!< total trials
+    std::uint64_t windowsPerBatch = 512;
+
+    /** Journal key prefix: every spec field, so a changed campaign
+     *  never reuses a stale batch. */
+    std::string journalKeyPrefix() const;
+};
+
+/**
+ * Run (or resume) the campaign.  With @p journal non-null, finished
+ * batches are read back instead of re-simulated and fresh batches are
+ * appended as they complete; with null it just runs everything.
+ */
+McResult praWindowFailuresResumable(const McCampaignSpec &spec,
+                                    CheckpointJournal *journal);
 
 } // namespace catsim
 

@@ -9,6 +9,9 @@
 #include <sstream>
 #include <thread>
 
+#include "common/checksum.hpp"
+#include "common/durable_io.hpp"
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 
 namespace catsim
@@ -89,6 +92,60 @@ saveBaseline(const std::string &path, const std::string &key,
     if (target.has_parent_path())
         std::filesystem::create_directories(target.parent_path(), ec);
 
+    // Serialize into memory first so the CRC32 trailer covers the
+    // exact bytes that hit the disk.
+    std::ostringstream payload(std::ios::binary);
+    putU64(payload, kMagic);
+    putU64(payload, kBaselineModelVersion);
+    putU64(payload, key.size());
+    payload.write(key.data(), static_cast<std::streamsize>(key.size()));
+    putDouble(payload, scale);
+
+    putU64(payload, result.execCycles);
+    putDouble(payload, result.execSeconds);
+    putU64(payload, result.epochs);
+    putU64(payload, result.controller.reads);
+    putU64(payload, result.controller.writes);
+    putU64(payload, result.controller.writeDrains);
+    putU64(payload, result.controller.victimRefreshEvents);
+    putU64(payload, result.controller.victimRowsRefreshed);
+    putU64(payload, result.controller.lastCompletion);
+    putU64(payload, result.scheme.activations);
+    putU64(payload, result.scheme.refreshEvents);
+    putU64(payload, result.scheme.victimRowsRefreshed);
+    putU64(payload, result.scheme.sramAccesses);
+    putU64(payload, result.scheme.prngBits);
+    putU64(payload, result.scheme.splits);
+    putU64(payload, result.scheme.merges);
+    putU64(payload, result.scheme.epochResets);
+    putU64(payload, result.scheme.counterDramReads);
+    putU64(payload, result.scheme.counterDramWrites);
+    putU64(payload, result.totalActivations);
+    putU64(payload, result.victimRowsRefreshed);
+
+    putU64(payload, result.bankStreams.size());
+    for (const auto &stream : result.bankStreams) {
+        putU64(payload, stream.size());
+        payload.write(reinterpret_cast<const char *>(stream.data()),
+                      static_cast<std::streamsize>(stream.size()
+                                                   * sizeof(RowAddr)));
+    }
+    std::string blob = payload.str();
+    const std::uint32_t crc = crc32(blob.data(), blob.size());
+    blob.append(reinterpret_cast<const char *>(&crc), sizeof crc);
+
+    if (fault::shouldFail("baseline_write_enospc")) {
+        CATSIM_WARN("baseline cache: cannot write ", path,
+                    " (injected ENOSPC)");
+        return false;
+    }
+    // Injected torn write: half the blob reaches the final path, as a
+    // crash between rename and device writeback would leave it.  The
+    // CRC trailer makes the next load miss and recompute.
+    const std::size_t writeLen = fault::shouldFail("baseline_write_torn")
+        ? blob.size() / 2
+        : blob.size();
+
     // Unique temp name per writer (thread id alone can collide across
     // processes sharing a cache dir); renamed into place atomically.
     std::ostringstream uniq;
@@ -101,42 +158,8 @@ saveBaseline(const std::string &path, const std::string &key,
             CATSIM_WARN("baseline cache: cannot write ", tmp);
             return false;
         }
-        putU64(os, kMagic);
-        putU64(os, kBaselineModelVersion);
-        putU64(os, key.size());
-        os.write(key.data(),
-                 static_cast<std::streamsize>(key.size()));
-        putDouble(os, scale);
-
-        putU64(os, result.execCycles);
-        putDouble(os, result.execSeconds);
-        putU64(os, result.epochs);
-        putU64(os, result.controller.reads);
-        putU64(os, result.controller.writes);
-        putU64(os, result.controller.writeDrains);
-        putU64(os, result.controller.victimRefreshEvents);
-        putU64(os, result.controller.victimRowsRefreshed);
-        putU64(os, result.controller.lastCompletion);
-        putU64(os, result.scheme.activations);
-        putU64(os, result.scheme.refreshEvents);
-        putU64(os, result.scheme.victimRowsRefreshed);
-        putU64(os, result.scheme.sramAccesses);
-        putU64(os, result.scheme.prngBits);
-        putU64(os, result.scheme.splits);
-        putU64(os, result.scheme.merges);
-        putU64(os, result.scheme.epochResets);
-        putU64(os, result.scheme.counterDramReads);
-        putU64(os, result.scheme.counterDramWrites);
-        putU64(os, result.totalActivations);
-        putU64(os, result.victimRowsRefreshed);
-
-        putU64(os, result.bankStreams.size());
-        for (const auto &stream : result.bankStreams) {
-            putU64(os, stream.size());
-            os.write(reinterpret_cast<const char *>(stream.data()),
-                     static_cast<std::streamsize>(stream.size()
-                                                  * sizeof(RowAddr)));
-        }
+        os.write(blob.data(), static_cast<std::streamsize>(writeLen));
+        os.flush();
         if (!os) {
             CATSIM_WARN("baseline cache: short write to ", tmp);
             os.close();
@@ -144,6 +167,10 @@ saveBaseline(const std::string &path, const std::string &key,
             return false;
         }
     }
+    // Durability: data to the device before the rename publishes it,
+    // then the rename itself via the directory.  Best effort - a
+    // filesystem that refuses fsync degrades to page-cache safety.
+    syncFile(tmp);
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         CATSIM_WARN("baseline cache: rename to ", path, " failed: ",
@@ -151,6 +178,7 @@ saveBaseline(const std::string &path, const std::string &key,
         std::filesystem::remove(tmp, ec);
         return false;
     }
+    syncParentDir(path);
     return true;
 }
 
@@ -158,18 +186,35 @@ bool
 loadBaseline(const std::string &path, const std::string &key,
              double scale, TimingResult *out)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
         return false;
+    if (fault::shouldFail("baseline_read"))
+        return false; // models an I/O error / short read mid-load
 
-    // Total size bounds every length field below, so a corrupt file
-    // can never trigger a huge allocation.
-    is.seekg(0, std::ios::end);
-    const auto endPos = is.tellg();
-    if (endPos < 0)
+    // Read the whole image so the CRC32 trailer can be verified before
+    // any field is trusted; the image size also bounds every length
+    // field below, so a corrupt file can never trigger a huge
+    // allocation.
+    std::string image;
+    {
+        std::ostringstream os;
+        os << file.rdbuf();
+        image = os.str();
+    }
+    if (image.size() < sizeof(std::uint32_t))
         return false;
-    const std::uint64_t fileSize = static_cast<std::uint64_t>(endPos);
-    is.seekg(0, std::ios::beg);
+    std::uint32_t storedCrc = 0;
+    std::memcpy(&storedCrc,
+                image.data() + image.size() - sizeof storedCrc,
+                sizeof storedCrc);
+    const std::size_t payloadSize = image.size() - sizeof storedCrc;
+    if (crc32(image.data(), payloadSize) != storedCrc)
+        return false; // torn, truncated, or bit-flipped: recompute
+    const std::uint64_t fileSize = payloadSize;
+
+    std::istringstream is(image.substr(0, payloadSize),
+                          std::ios::binary);
 
     std::uint64_t magic = 0, version = 0, keyLen = 0;
     if (!getU64(is, &magic) || magic != kMagic || !getU64(is, &version)

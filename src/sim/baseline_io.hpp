@@ -12,7 +12,11 @@
  * logical cache key and the experiment scale; any mismatch (stale
  * format, colliding file name, different scale) makes the load fail
  * and the caller recompute.  Files are written via a temp path plus
- * atomic rename so concurrent writers can never expose a torn file.
+ * atomic rename so concurrent writers can never expose a torn file,
+ * fsync'd (file, then containing directory) before/after the rename
+ * so a crash can't leave a renamed-but-empty entry, and carry a CRC32
+ * trailer so any torn or bit-flipped content is rejected at load time
+ * instead of feeding corrupt streams into a figure.
  */
 
 #ifndef CATSIM_SIM_BASELINE_IO_HPP
@@ -33,8 +37,12 @@ namespace catsim
  * activation streams, even if the file layout itself is unchanged;
  * stale files then miss and are recomputed instead of silently
  * feeding outdated streams into new figures.
+ *
+ * Version history: 1 = original layout; 2 = CRC32 trailer appended
+ * (legacy files simply miss and are recomputed, matching the existing
+ * stale-format policy).
  */
-constexpr std::uint64_t kBaselineModelVersion = 1;
+constexpr std::uint64_t kBaselineModelVersion = 2;
 
 /**
  * File name (not path) for a baseline cache entry: a sanitized key

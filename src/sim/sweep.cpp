@@ -1,71 +1,338 @@
 #include "sweep.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+
 namespace catsim
 {
 
-SweepRunner::SweepRunner(double scale, std::size_t jobs)
-    : runner_(scale), jobs_(jobs ? jobs : 1)
+namespace
 {
+
+bool
+keepGoingFromEnv()
+{
+    const char *env = std::getenv("CATSIM_SWEEP_KEEP_GOING");
+    return env && std::string(env) == "1";
+}
+
+/** Canonical spec string: the whole cell, so a changed grid misses. */
+std::string
+cellSpec(const SweepCell &c)
+{
+    return c.system().format() + "|tag=" + std::to_string(c.tag);
+}
+
+std::string
+cellSpec(const AdaptiveCell &c)
+{
+    std::ostringstream os;
+    os << SystemConfig{c.preset, WorkloadSpec{}, c.scheme}.format()
+       << "|attacker=" << attackerKindName(c.attack.attacker)
+       << "|mode=" << static_cast<int>(c.attack.mode)
+       << "|kernel=" << c.attack.kernel << "|seed=" << c.attack.seed
+       << "|targets=" << c.attack.targetsPerBank
+       << "|epochs=" << c.attack.epochs;
+    return os.str();
+}
+
+std::string
+cellLabel(const SweepCell &c)
+{
+    return c.label();
+}
+
+std::string
+cellLabel(const AdaptiveCell &c)
+{
+    return std::string(attackerKindName(c.attack.attacker)) + "@"
+           + SystemConfig{c.preset, WorkloadSpec{}, c.scheme}.label();
+}
+
+template <typename Cell>
+std::vector<std::string>
+specsOf(const std::vector<Cell> &cells)
+{
+    std::vector<std::string> specs;
+    specs.reserve(cells.size());
+    for (const auto &c : cells)
+        specs.push_back(cellSpec(c));
+    return specs;
+}
+
+template <typename Cell>
+std::vector<std::string>
+labelsOf(const std::vector<Cell> &cells)
+{
+    std::vector<std::string> labels;
+    labels.reserve(cells.size());
+    for (const auto &c : cells)
+        labels.push_back(cellLabel(c));
+    return labels;
+}
+
+/** Journal blob codecs; doubles bit-exact so resumes are identical. */
+std::string
+encodeResult(double v)
+{
+    BlobWriter w;
+    w.putDouble(v);
+    return w.str();
+}
+
+bool
+decodeResult(const std::string &blob, double *v)
+{
+    BlobReader r(blob);
+    return r.getDouble(v) && r.atEnd();
+}
+
+std::string
+encodeResult(const EvalResult &e)
+{
+    BlobWriter w;
+    w.putDouble(e.cmrpo);
+    w.putDouble(e.power.dynamic);
+    w.putDouble(e.power.statik);
+    w.putDouble(e.power.refresh);
+    w.putDouble(e.baselineSeconds);
+    w.putU64(e.stats.activations);
+    w.putU64(e.stats.refreshEvents);
+    w.putU64(e.stats.victimRowsRefreshed);
+    w.putU64(e.stats.sramAccesses);
+    w.putU64(e.stats.prngBits);
+    w.putU64(e.stats.splits);
+    w.putU64(e.stats.merges);
+    w.putU64(e.stats.epochResets);
+    w.putU64(e.stats.counterDramReads);
+    w.putU64(e.stats.counterDramWrites);
+    return w.str();
+}
+
+bool
+decodeResult(const std::string &blob, EvalResult *e)
+{
+    BlobReader r(blob);
+    return r.getDouble(&e->cmrpo) && r.getDouble(&e->power.dynamic)
+           && r.getDouble(&e->power.statik)
+           && r.getDouble(&e->power.refresh)
+           && r.getDouble(&e->baselineSeconds)
+           && r.getU64(&e->stats.activations)
+           && r.getU64(&e->stats.refreshEvents)
+           && r.getU64(&e->stats.victimRowsRefreshed)
+           && r.getU64(&e->stats.sramAccesses)
+           && r.getU64(&e->stats.prngBits) && r.getU64(&e->stats.splits)
+           && r.getU64(&e->stats.merges)
+           && r.getU64(&e->stats.epochResets)
+           && r.getU64(&e->stats.counterDramReads)
+           && r.getU64(&e->stats.counterDramWrites) && r.atEnd();
+}
+
+/** Mark a permanently-failed cell's result slot. */
+void
+markFailed(double *v)
+{
+    *v = std::numeric_limits<double>::quiet_NaN();
+}
+
+void
+markFailed(EvalResult *e)
+{
+    *e = EvalResult{};
+    e->cmrpo = std::numeric_limits<double>::quiet_NaN();
+}
+
+/** what() of the in-flight exception (for CellError records). */
+std::string
+currentExceptionMessage()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(double scale, std::size_t jobs)
+    : runner_(scale), jobs_(jobs ? jobs : 1),
+      checkpointDir_(checkpointDirFromEnv()),
+      keepGoing_(keepGoingFromEnv())
+{
+}
+
+template <typename Result>
+std::vector<Result>
+SweepRunner::runJournaled(const char *kind,
+                          const std::vector<std::string> &specs,
+                          const std::vector<std::string> &labels,
+                          const std::function<Result(std::size_t)> &eval)
+{
+    const std::size_t n = specs.size();
+    std::vector<Result> results(n);
+    std::vector<char> done(n, 0);
+    errors_.clear();
+    resumedCells_ = 0;
+    const std::uint64_t seq = callSeq_[kind]++;
+
+    // Replay: journaled cells (validated by key + CRC at open) are
+    // decoded in place and never re-run.
+    std::unique_ptr<CheckpointJournal> journal;
+    std::vector<std::string> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys[i] = std::string(kind) + '#' + std::to_string(i) + '|'
+                  + specs[i];
+    if (!checkpointDir_.empty()) {
+        std::ostringstream runKey;
+        runKey << kind << "|seq=" << seq << "|scale=" << std::hexfloat
+               << scale() << "|cells=" << n;
+        for (const auto &k : keys)
+            runKey << '|' << k;
+        journal = std::make_unique<CheckpointJournal>(checkpointDir_,
+                                                      runKey.str());
+        std::string blob;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (journal->lookup(keys[i], &blob)
+                && decodeResult(blob, &results[i])) {
+                done[i] = 1;
+                ++resumedCells_;
+            }
+        }
+        if (resumedCells_ > 0)
+            CATSIM_INFORM("checkpoint: resumed ", resumedCells_, "/", n,
+                          " ", kind, " cells from ", journal->path());
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!done[i])
+            pending.push_back(i);
+
+    std::mutex errMutex;
+    parallelFor(
+        pending.size(),
+        [this, &pending, &results, &keys, &labels, &eval, &journal,
+         &errMutex](std::size_t pi) {
+            const std::size_t i = pending[pi];
+            if (!keepGoing_) {
+                // Fail-fast: the first cell failure aborts the grid
+                // (parallelFor attaches the failing index), but cells
+                // that finished before it are journaled below, so a
+                // checkpointed re-run picks up from them.
+                fault::maybeThrow("sweep_cell");
+                results[i] = eval(i);
+            } else {
+                int attempts = 0;
+                for (;;) {
+                    ++attempts;
+                    try {
+                        fault::maybeThrow("sweep_cell");
+                        results[i] = eval(i);
+                        break;
+                    } catch (...) {
+                        if (attempts < 2)
+                            continue; // transient? one retry
+                        CellError err;
+                        err.index = i;
+                        err.label = labels[i];
+                        err.message = currentExceptionMessage();
+                        err.attempts = attempts;
+                        {
+                            std::lock_guard<std::mutex> lock(errMutex);
+                            errors_.push_back(std::move(err));
+                        }
+                        markFailed(&results[i]);
+                        return; // failed cells are never journaled
+                    }
+                }
+            }
+            if (journal) {
+                try {
+                    journal->append(keys[i], encodeResult(results[i]));
+                } catch (const std::exception &e) {
+                    // The result itself is valid; losing its journal
+                    // record only costs a re-run on resume.  Keep
+                    // going quietly in keep-going mode, die loudly in
+                    // fail-fast (a broken journal would make every
+                    // later resume silently partial).
+                    if (!keepGoing_)
+                        throw;
+                    CATSIM_WARN("checkpoint append failed for ",
+                                labels[i], ": ", e.what());
+                }
+            }
+        },
+        jobs_);
+
+    std::sort(errors_.begin(), errors_.end(),
+              [](const CellError &a, const CellError &b) {
+                  return a.index < b.index;
+              });
+    if (!errors_.empty()) {
+        CATSIM_WARN("sweep keep-going: ", errors_.size(), "/", n, " ",
+                    kind, " cells failed permanently; their results "
+                    "are NaN and they were not checkpointed");
+        for (const auto &e : errors_)
+            CATSIM_WARN("  cell ", e.index, " (", e.label, "), ",
+                        e.attempts, " attempts: ", e.message);
+    }
+    return results;
 }
 
 std::vector<EvalResult>
 SweepRunner::runCmrpo(const std::vector<SweepCell> &cells)
 {
-    std::vector<EvalResult> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results](std::size_t i) {
+    return runJournaled<EvalResult>(
+        "cmrpo", specsOf(cells), labelsOf(cells),
+        [this, &cells](std::size_t i) {
             const SweepCell &c = cells[i];
-            results[i] =
-                runner_.evalCmrpo(c.preset, c.workload, c.scheme);
-        },
-        jobs_);
-    return results;
+            return runner_.evalCmrpo(c.preset, c.workload, c.scheme);
+        });
 }
 
 std::vector<double>
 SweepRunner::runEto(const std::vector<SweepCell> &cells)
 {
-    std::vector<double> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results](std::size_t i) {
+    return runJournaled<double>(
+        "eto", specsOf(cells), labelsOf(cells),
+        [this, &cells](std::size_t i) {
             const SweepCell &c = cells[i];
-            results[i] =
-                runner_.evalEto(c.preset, c.workload, c.scheme);
-        },
-        jobs_);
-    return results;
+            return runner_.evalEto(c.preset, c.workload, c.scheme);
+        });
 }
 
 std::vector<EvalResult>
 SweepRunner::runAdaptive(const std::vector<AdaptiveCell> &cells)
 {
-    std::vector<EvalResult> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results](std::size_t i) {
+    return runJournaled<EvalResult>(
+        "adaptive", specsOf(cells), labelsOf(cells),
+        [this, &cells](std::size_t i) {
             const AdaptiveCell &c = cells[i];
-            results[i] =
-                runner_.evalAdaptive(c.preset, c.attack, c.scheme);
-        },
-        jobs_);
-    return results;
+            return runner_.evalAdaptive(c.preset, c.attack, c.scheme);
+        });
 }
 
 std::vector<double>
 SweepRunner::runAdaptiveEto(const std::vector<AdaptiveCell> &cells)
 {
-    std::vector<double> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results](std::size_t i) {
+    return runJournaled<double>(
+        "adaptive-eto", specsOf(cells), labelsOf(cells),
+        [this, &cells](std::size_t i) {
             const AdaptiveCell &c = cells[i];
-            results[i] =
-                runner_.evalAdaptiveEto(c.preset, c.attack, c.scheme);
-        },
-        jobs_);
-    return results;
+            return runner_.evalAdaptiveEto(c.preset, c.attack, c.scheme);
+        });
 }
 
 std::vector<double>
@@ -74,14 +341,11 @@ SweepRunner::runAdaptiveMetric(
     const std::function<double(ExperimentRunner &,
                                const AdaptiveCell &)> &fn)
 {
-    std::vector<double> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results, &fn](std::size_t i) {
-            results[i] = fn(runner_, cells[i]);
-        },
-        jobs_);
-    return results;
+    return runJournaled<double>(
+        "adaptive-metric", specsOf(cells), labelsOf(cells),
+        [this, &cells, &fn](std::size_t i) {
+            return fn(runner_, cells[i]);
+        });
 }
 
 std::vector<double>
@@ -90,14 +354,11 @@ SweepRunner::runMetric(
     const std::function<double(ExperimentRunner &, const SweepCell &)>
         &fn)
 {
-    std::vector<double> results(cells.size());
-    parallelFor(
-        cells.size(),
-        [this, &cells, &results, &fn](std::size_t i) {
-            results[i] = fn(runner_, cells[i]);
-        },
-        jobs_);
-    return results;
+    return runJournaled<double>(
+        "metric", specsOf(cells), labelsOf(cells),
+        [this, &cells, &fn](std::size_t i) {
+            return fn(runner_, cells[i]);
+        });
 }
 
 } // namespace catsim

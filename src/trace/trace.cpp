@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 
 namespace catsim
@@ -51,6 +52,7 @@ readTraceFile(const std::string &path)
     std::size_t lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        fault::maybeThrow("trace_ingest_read");
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream is(line);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/config.hpp"
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "sim/event_engine.hpp"
 
@@ -54,6 +55,7 @@ readDramSimTrace(const std::string &path)
     bool first = true;
     while (std::getline(in, line)) {
         ++lineno;
+        fault::maybeThrow("trace_ingest_read");
         if (line.empty() || line[0] == '#' || line[0] == ';')
             continue;
         std::istringstream is(line);

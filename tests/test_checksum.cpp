@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the shared CRC32 (common/checksum): known-answer vectors,
+ * incremental equivalence, and sensitivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/checksum.hpp"
+
+namespace catsim
+{
+
+TEST(Checksum, KnownAnswerVectors)
+{
+    // The IEEE 802.3 check value: crc32("123456789") = 0xCBF43926.
+    const char check[] = "123456789";
+    EXPECT_EQ(crc32(check, std::strlen(check)), 0xCBF43926u);
+    // Empty input: init xor final = 0.
+    EXPECT_EQ(crc32("", 0), 0u);
+    // One byte, independently computable.
+    EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Checksum, IncrementalMatchesOneShot)
+{
+    const std::string data =
+        "catsim journal record: key bytes, blob bytes, trailer";
+    Crc32 inc;
+    for (char c : data)
+        inc.update(&c, 1);
+    EXPECT_EQ(inc.value(), crc32(data.data(), data.size()));
+
+    // Split at an arbitrary boundary.
+    Crc32 split;
+    split.update(data.data(), 7);
+    split.update(data.data() + 7, data.size() - 7);
+    EXPECT_EQ(split.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Checksum, ResetStartsOver)
+{
+    Crc32 c;
+    c.update("junk", 4);
+    c.reset();
+    c.update("123456789", 9);
+    EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Checksum, DetectsSingleBitFlip)
+{
+    std::string data(64, '\x5A');
+    const std::uint32_t good = crc32(data.data(), data.size());
+    for (std::size_t byte : {std::size_t(0), std::size_t(31),
+                             data.size() - 1}) {
+        std::string bad = data;
+        bad[byte] ^= 0x01;
+        EXPECT_NE(crc32(bad.data(), bad.size()), good)
+            << "flip at byte " << byte;
+    }
+}
+
+} // namespace catsim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the deterministic fail-point registry
+ * (common/fault_injection) and its integration with the baseline
+ * cache's durability path: a torn or failed write must never be
+ * loaded back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/fault_injection.hpp"
+#include "sim/baseline_io.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+/** Disarms every fail-point on scope exit so tests can't leak arms. */
+struct FailpointGuard
+{
+    ~FailpointGuard() { fault::installFailpoints(""); }
+};
+
+TimingResult
+sampleResult()
+{
+    TimingResult r;
+    r.execCycles = 123456;
+    r.execSeconds = 0.0625;
+    r.epochs = 3;
+    r.controller.reads = 1000;
+    r.controller.writes = 500;
+    r.scheme.activations = 777;
+    r.totalActivations = 1500;
+    r.victimRowsRefreshed = 42;
+    r.bankStreams = {{1, 2, 3}, {}, {7, 8}};
+    return r;
+}
+
+std::filesystem::path
+scratchFile(const std::string &name)
+{
+    const auto dir = std::filesystem::temp_directory_path()
+                     / "catsim_fault_injection";
+    std::filesystem::create_directories(dir);
+    const auto path = dir / name;
+    std::filesystem::remove(path);
+    return path;
+}
+
+} // namespace
+
+TEST(FaultInjection, UnarmedIsFree)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("");
+    EXPECT_FALSE(fault::armed());
+    EXPECT_FALSE(fault::shouldFail("anything"));
+    // Unarmed sites are not even counted (the fast path short-circuits
+    // before the registry).
+    EXPECT_EQ(fault::hitCount("anything"), 0u);
+    EXPECT_NO_THROW(fault::maybeThrow("anything"));
+}
+
+TEST(FaultInjection, FiresAtExactHit)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("site_a@2");
+    EXPECT_TRUE(fault::armed());
+    EXPECT_FALSE(fault::shouldFail("site_a")); // hit 1
+    EXPECT_TRUE(fault::shouldFail("site_a"));  // hit 2 - armed
+    EXPECT_FALSE(fault::shouldFail("site_a")); // hit 3
+    EXPECT_EQ(fault::hitCount("site_a"), 3u);
+    // Other sites pass through untouched but armed() stays global.
+    EXPECT_FALSE(fault::shouldFail("site_b"));
+}
+
+TEST(FaultInjection, MultipleHitsAndSites)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("a@1,a@3,b@2");
+    EXPECT_TRUE(fault::shouldFail("a"));
+    EXPECT_FALSE(fault::shouldFail("a"));
+    EXPECT_TRUE(fault::shouldFail("a"));
+    EXPECT_FALSE(fault::shouldFail("b"));
+    EXPECT_TRUE(fault::shouldFail("b"));
+}
+
+TEST(FaultInjection, StarArmsEveryHit)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("always@*");
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(fault::shouldFail("always")) << "hit " << i;
+}
+
+TEST(FaultInjection, MalformedItemsIgnored)
+{
+    FailpointGuard guard;
+    // "@3" (empty site), "plain" (no @), "x@0" and "x@banana" (bad
+    // nth) must all be dropped; the valid item still arms.
+    fault::installFailpoints("@3,plain,x@0,x@banana,ok@1");
+    EXPECT_FALSE(fault::shouldFail("plain"));
+    EXPECT_FALSE(fault::shouldFail("x"));
+    EXPECT_TRUE(fault::shouldFail("ok"));
+}
+
+TEST(FaultInjection, InstallResetsCounters)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("s@1");
+    EXPECT_TRUE(fault::shouldFail("s"));
+    fault::installFailpoints("s@1");
+    EXPECT_TRUE(fault::shouldFail("s"))
+        << "reinstall must reset the hit counter";
+}
+
+TEST(FaultInjection, MaybeThrowNamesTheSite)
+{
+    FailpointGuard guard;
+    fault::installFailpoints("boom@1");
+    try {
+        fault::maybeThrow("boom");
+        FAIL() << "expected FaultInjected";
+    } catch (const FaultInjected &e) {
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+}
+
+TEST(FaultInjection, TornBaselineWriteNeverLoads)
+{
+    FailpointGuard guard;
+    const auto path = scratchFile("torn.catb");
+    const TimingResult r = sampleResult();
+
+    fault::installFailpoints("baseline_write_torn@1");
+    EXPECT_TRUE(saveBaseline(path.string(), "key", 0.02, r));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    fault::installFailpoints("");
+    TimingResult out;
+    EXPECT_FALSE(loadBaseline(path.string(), "key", 0.02, &out))
+        << "a torn cache file must miss (CRC), not load garbage";
+
+    // A clean rewrite over the torn file heals it.
+    EXPECT_TRUE(saveBaseline(path.string(), "key", 0.02, r));
+    ASSERT_TRUE(loadBaseline(path.string(), "key", 0.02, &out));
+    EXPECT_EQ(out.execCycles, r.execCycles);
+    EXPECT_EQ(out.execSeconds, r.execSeconds);
+    EXPECT_EQ(out.bankStreams, r.bankStreams);
+    EXPECT_EQ(out.victimRowsRefreshed, r.victimRowsRefreshed);
+}
+
+TEST(FaultInjection, BaselineWriteEnospcLeavesNoFile)
+{
+    FailpointGuard guard;
+    const auto path = scratchFile("enospc.catb");
+
+    fault::installFailpoints("baseline_write_enospc@1");
+    EXPECT_FALSE(saveBaseline(path.string(), "key", 0.02,
+                              sampleResult()));
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FaultInjection, BaselineReadFaultMisses)
+{
+    FailpointGuard guard;
+    const auto path = scratchFile("readfault.catb");
+    const TimingResult r = sampleResult();
+    ASSERT_TRUE(saveBaseline(path.string(), "key", 0.02, r));
+
+    fault::installFailpoints("baseline_read@1");
+    TimingResult out;
+    EXPECT_FALSE(loadBaseline(path.string(), "key", 0.02, &out));
+
+    // The fault was one-shot; the next load succeeds.
+    EXPECT_TRUE(loadBaseline(path.string(), "key", 0.02, &out));
+    EXPECT_EQ(out.execCycles, r.execCycles);
+}
+
+} // namespace catsim

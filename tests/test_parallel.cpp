@@ -160,4 +160,80 @@ TEST(Parallel, ParallelForPropagatesException)
                  std::runtime_error);
 }
 
+TEST(Parallel, ThreadPoolReportsLowestSubmissionIndex)
+{
+    // Every job throws; regardless of which worker finishes first, the
+    // surfaced error must belong to submission 0.
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([i] {
+            throw std::runtime_error("err" + std::to_string(i));
+        });
+    }
+    try {
+        pool.wait();
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("task 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("err0"), std::string::npos) << what;
+    }
+}
+
+TEST(Parallel, ThreadPoolInlineAlsoWrapsTaskIndex)
+{
+    ThreadPool pool(1);
+    pool.submit([] {});
+    pool.submit([] { throw std::runtime_error("inline boom"); });
+    try {
+        pool.wait();
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("task 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("inline boom"), std::string::npos) << what;
+    }
+}
+
+TEST(Parallel, ParallelForReportsLowestFailingCell)
+{
+    // All cells throw.  The first indices handed out are 0..jobs-1, so
+    // cell 0 always fails and must win the report at any job count.
+    for (std::size_t jobs : {std::size_t(1), std::size_t(4)}) {
+        try {
+            parallelFor(
+                16,
+                [](std::size_t i) {
+                    throw std::runtime_error("cell" + std::to_string(i));
+                },
+                jobs);
+            FAIL() << "expected rethrow at jobs=" << jobs;
+        } catch (const std::runtime_error &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("cell 0:"), std::string::npos)
+                << "jobs=" << jobs << ": " << what;
+            EXPECT_NE(what.find("cell0"), std::string::npos)
+                << "jobs=" << jobs << ": " << what;
+        }
+    }
+}
+
+TEST(Parallel, ParallelForSerialNamesFailingIndex)
+{
+    try {
+        parallelFor(
+            10,
+            [](std::size_t i) {
+                if (i == 7)
+                    throw std::runtime_error("seven");
+            },
+            1);
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("cell 7"), std::string::npos) << what;
+        EXPECT_NE(what.find("seven"), std::string::npos) << what;
+    }
+}
+
 } // namespace catsim

@@ -25,6 +25,8 @@ namespace
 const bool kEnvScrubbed = [] {
     ::unsetenv("CATSIM_BASELINE_CACHE");
     ::unsetenv("CATSIM_JOBS");
+    ::unsetenv("CATSIM_CHECKPOINT");
+    ::unsetenv("CATSIM_SWEEP_KEEP_GOING");
     return true;
 }();
 
