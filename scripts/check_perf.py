@@ -1,34 +1,52 @@
 #!/usr/bin/env python3
-"""Hot-path throughput regression guard.
+"""Hot-path throughput regression guard with cross-PR trajectory.
 
-Reads the ``metrics`` object of the micro-bench's ``BENCH_<name>.json``
-(produced by scripts/run_benches.sh) and enforces the committed floors
-in ``scripts/reference_perf.json``:
+Reads the ``metrics`` object of each guarded bench's
+``BENCH_<name>.json`` (produced by scripts/run_benches.sh) and enforces
+the committed floors in ``scripts/reference_perf.json``.  The reference
+file holds one entry per bench under ``benches`` (the micro-bench's
+bundle kernels and the fleet-scale shard scaling curve); a bench that
+did not run is skipped, so BENCH_FILTERed invocations stay green.
 
-* **Speedup ratios** (bundle vs flattened tree) are machine-relative,
-  so they get hard per-SIMD-tier floors: the bench reports which
-  bundle kernel the host ran (``bundle_simd_tier``: 2 = AVX-512
-  fused descent+resolve, 1 = AVX2 gather descent, 0 = portable
-  scalar) and each ratio must clear the floor committed for that
-  tier.  This is the PR's acceptance bar (>= 3x on AVX-512 hosts).
-* **Absolute throughputs** (activations/second) vary with hardware,
-  so they only get loose sanity floors: ``reference * min_frac``.
-  They catch order-of-magnitude regressions (e.g. the bundle silently
-  falling back to per-call dispatch), not machine-to-machine drift.
+Three kinds of guard, in increasing statefulness:
+
+* **Ratio floors** (bundle vs flattened tree, 4-shard vs 1-shard
+  fleet speedup) are machine-relative, so they get hard per-tier
+  floors: each bench reports which hardware class it ran on
+  (``bundle_simd_tier``: 2 = AVX-512, 1 = AVX2, 0 = scalar;
+  ``fleet_worker_tier``: 2 = host has >= 4 cores, 1 = 2-3, 0 = 1)
+  and each ratio must clear the floor committed for that tier.
+  A 1-core CI box cannot show a 4x shard speedup, so tier 0's fleet
+  floors only catch pathological slowdowns.
+* **Absolute throughput floors** (activations/second) vary with
+  hardware, so they only get loose sanity floors
+  (``reference * min_frac``) catching order-of-magnitude regressions.
+* **Trajectory tracking** guards against the slow bleed the one-shot
+  floors cannot see: ``scripts/perf_history.jsonl`` accumulates one
+  record per PR for each tracked metric, and the current value is
+  compared against the median of the last ``window`` records measured
+  on the same hardware tier.  One bad sample is only a warning (perf
+  numbers are noisy); the run FAILS when the current value AND the
+  previous record are both below ``median * min_frac`` - a sustained
+  regression, not a blip.  Pass ``--update-history`` (the PR workflow:
+  run benches, commit the appended line) to append this run's values.
 
 Unlike check_metrics.py (bit-exact physics), perf numbers are noisy;
 floors here are deliberately one-sided - faster is always fine.
 
 Usage:
     scripts/check_perf.py RESULTS_DIR [--reference FILE]
+        [--history FILE] [--update-history]
 
-Exit status: 0 when every present metric clears its floor (or the
-bench did not run), 1 on any floor violation, 2 on usage/IO errors.
+Exit status: 0 when every present metric clears its floors (or no
+guarded bench ran), 1 on any violation, 2 on usage/IO errors.
 """
 
 import argparse
 import json
+import statistics
 import sys
+import time
 from pathlib import Path
 
 
@@ -41,33 +59,29 @@ def load_json(path: Path):
         sys.exit(2)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("results_dir", type=Path)
-    parser.add_argument(
-        "--reference",
-        type=Path,
-        default=Path(__file__).parent / "reference_perf.json",
-    )
-    args = parser.parse_args()
+def load_history(path: Path):
+    """History is JSONL: one {"bench","tier","metric","value"} per line."""
+    records = []
+    if not path.is_file():
+        return records
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                print(
+                    f"error: bad history line {lineno} in {path}: {exc}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+    return records
 
-    ref = load_json(args.reference)
-    bench = ref.get("bench", "bench_micro_schemes")
-    result_path = args.results_dir / f"BENCH_{bench}.json"
-    if not result_path.is_file():
-        print(f"check_perf: {result_path.name} not present, skipping")
-        return 0
 
-    metrics = load_json(result_path).get("metrics", {})
-    if not metrics:
-        print(f"check_perf: {result_path.name} has no metrics, skipping")
-        return 0
-
-    failures = []
-
-    tier_key = ref.get("tier_metric", "bundle_simd_tier")
-    tier = str(int(metrics.get(tier_key, 0)))
-    for name, floors in ref.get("ratio_floors", {}).items():
+def check_ratio_floors(spec, metrics, tier, failures):
+    for name, floors in spec.get("ratio_floors", {}).items():
         if name not in metrics:
             continue
         floor = floors.get(tier)
@@ -77,33 +91,155 @@ def main() -> int:
         if value < floor:
             failures.append(
                 f"{name} = {value:.3f} below floor {floor:.3f} "
-                f"(simd tier {tier})"
+                f"(tier {tier})"
             )
         else:
-            print(
-                f"  ok: {name} = {value:.3f} >= {floor:.3f} "
-                f"(simd tier {tier})"
-            )
+            print(f"  ok: {name} = {value:.3f} >= {floor:.3f} (tier {tier})")
 
-    for name, spec in ref.get("throughput_floors", {}).items():
+
+def check_throughput_floors(spec, metrics, failures):
+    for name, fspec in spec.get("throughput_floors", {}).items():
         if name not in metrics:
             continue
-        floor = float(spec["reference"]) * float(spec.get("min_frac", 0.2))
+        min_frac = float(fspec.get("min_frac", 0.2))
+        floor = float(fspec["reference"]) * min_frac
         value = float(metrics[name])
         if value < floor:
             failures.append(
                 f"{name} = {value:.3g} below sanity floor {floor:.3g} "
-                f"({spec['reference']:.3g} * {spec.get('min_frac', 0.2)})"
+                f"({fspec['reference']:.3g} * {min_frac})"
             )
         else:
             print(f"  ok: {name} = {value:.3g} >= {floor:.3g}")
+
+
+def check_trajectory(bench, spec, metrics, tier, history, new_records,
+                     failures):
+    """Sustained-regression guard against the committed history.
+
+    For each tracked metric, the rolling baseline is the median of the
+    last ``window`` history records for this bench+metric on the same
+    hardware tier.  current < median*min_frac is a warning; current AND
+    the most recent history record both below is a FAIL (two PRs in a
+    row - a trend, not noise).  Fewer than ``min_records`` comparable
+    records means no baseline yet: record and move on.
+    """
+    traj = spec.get("trajectory", {})
+    window = int(traj.get("window", 8))
+    min_frac = float(traj.get("min_frac", 0.5))
+    min_records = int(traj.get("min_records", 3))
+    for name in traj.get("metrics", []):
+        if name not in metrics:
+            continue
+        value = float(metrics[name])
+        new_records.append(
+            {
+                "ts": int(time.time()),
+                "bench": bench,
+                "tier": tier,
+                "metric": name,
+                "value": value,
+            }
+        )
+        prior = [
+            float(r["value"])
+            for r in history
+            if r.get("bench") == bench
+            and r.get("metric") == name
+            and str(r.get("tier")) == tier
+        ]
+        if len(prior) < min_records:
+            print(
+                f"  trajectory: {name} = {value:.3g} recorded "
+                f"({len(prior)} prior record(s) at tier {tier}, "
+                f"baseline needs {min_records})"
+            )
+            continue
+        baseline = statistics.median(prior[-window:])
+        floor = baseline * min_frac
+        if value >= floor:
+            print(
+                f"  trajectory ok: {name} = {value:.3g} >= {floor:.3g} "
+                f"(median {baseline:.3g} of last {min(len(prior), window)} "
+                f"* {min_frac})"
+            )
+        elif prior[-1] < floor:
+            failures.append(
+                f"{name} = {value:.3g} below trajectory floor "
+                f"{floor:.3g} for the 2nd PR running "
+                f"(median {baseline:.3g}, tier {tier}) - sustained "
+                f"regression"
+            )
+        else:
+            print(
+                f"  trajectory WARN: {name} = {value:.3g} < {floor:.3g} "
+                f"(median {baseline:.3g}); one-off for now, fails if "
+                f"the next PR is also below"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", type=Path)
+    parser.add_argument(
+        "--reference",
+        type=Path,
+        default=Path(__file__).parent / "reference_perf.json",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).parent / "perf_history.jsonl",
+    )
+    parser.add_argument(
+        "--update-history",
+        action="store_true",
+        help="append this run's tracked metrics to the history file",
+    )
+    args = parser.parse_args()
+
+    ref = load_json(args.reference)
+    history = load_history(args.history)
+    failures = []
+    new_records = []
+    checked = 0
+
+    for bench, spec in ref.get("benches", {}).items():
+        result_path = args.results_dir / f"BENCH_{bench}.json"
+        if not result_path.is_file():
+            print(f"check_perf: {result_path.name} not present, skipping")
+            continue
+        metrics = load_json(result_path).get("metrics", {})
+        if not metrics:
+            print(f"check_perf: {result_path.name} has no metrics, skipping")
+            continue
+        checked += 1
+        tier = str(int(metrics.get(spec.get("tier_metric", ""), 0)))
+        print(f"check_perf: {bench} (tier {tier})")
+        check_ratio_floors(spec, metrics, tier, failures)
+        check_throughput_floors(spec, metrics, failures)
+        check_trajectory(
+            bench, spec, metrics, tier, history, new_records, failures
+        )
+
+    if args.update_history and new_records:
+        with open(args.history, "a") as fh:
+            for rec in new_records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        print(
+            f"check_perf: appended {len(new_records)} record(s) to "
+            f"{args.history.name}"
+        )
 
     if failures:
         print(f"check_perf: {len(failures)} floor violation(s):")
         for f in failures:
             print(f"  FAIL: {f}")
         return 1
-    print("check_perf: all floors cleared")
+    if checked == 0:
+        print("check_perf: no guarded bench ran, nothing to do")
+    else:
+        print("check_perf: all floors cleared")
     return 0
 
 

@@ -1,11 +1,17 @@
 #include "parallel.hpp"
 
-#include <atomic>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "common/fault_injection.hpp"
+
+#ifdef __linux__
+#include <fstream>
+#include <pthread.h>
+#include <sched.h>
+#include <sstream>
+#endif
 
 namespace catsim
 {
@@ -23,13 +29,108 @@ defaultJobs()
     return hw ? hw : 1;
 }
 
+bool
+numaPinEnabled()
+{
+    const char *env = std::getenv("CATSIM_NUMA_PIN");
+    return env && std::string(env) == "1";
+}
+
+namespace
+{
+
+#ifdef __linux__
+
+/** Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. */
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        const std::size_t dash = tok.find('-');
+        try {
+            if (dash == std::string::npos) {
+                cpus.push_back(std::stoi(tok));
+            } else {
+                const int lo = std::stoi(tok.substr(0, dash));
+                const int hi = std::stoi(tok.substr(dash + 1));
+                for (int c = lo; c <= hi; ++c)
+                    cpus.push_back(c);
+            }
+        } catch (...) {
+            return {}; // unparsable sysfs: fall back to cpu round-robin
+        }
+    }
+    return cpus;
+}
+
+/** CPUs of each online NUMA node; empty when sysfs is unreadable. */
+const std::vector<std::vector<int>> &
+numaNodeCpus()
+{
+    static const std::vector<std::vector<int>> nodes = [] {
+        std::vector<std::vector<int>> out;
+        for (int node = 0; node < 1024; ++node) {
+            std::ifstream in("/sys/devices/system/node/node"
+                             + std::to_string(node) + "/cpulist");
+            if (!in)
+                break;
+            std::string list;
+            std::getline(in, list);
+            std::vector<int> cpus = parseCpuList(list);
+            if (!cpus.empty())
+                out.push_back(std::move(cpus));
+        }
+        return out;
+    }();
+    return nodes;
+}
+
+/**
+ * Pin the calling worker round-robin across NUMA nodes (whole-node
+ * affinity mask, so the OS still balances within the node); falls back
+ * to plain CPU round-robin when node topology is unreadable.  Failures
+ * are ignored - pinning is a performance hint, never correctness.
+ */
+void
+pinWorkerRoundRobin(std::size_t worker)
+{
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    const auto &nodes = numaNodeCpus();
+    if (!nodes.empty()) {
+        for (int c : nodes[worker % nodes.size()])
+            CPU_SET(static_cast<unsigned>(c), &set);
+    } else {
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            return;
+        CPU_SET(worker % hw, &set);
+    }
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+#else
+
+void
+pinWorkerRoundRobin(std::size_t)
+{
+}
+
+#endif
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t jobs) : jobs_(jobs ? jobs : 1)
 {
     if (jobs_ == 1)
         return;
+    queues_.resize(jobs_);
     workers_.reserve(jobs_);
     for (std::size_t i = 0; i < jobs_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -70,7 +171,11 @@ ThreadPool::submit(std::function<void()> job)
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.emplace_back(submitSeq_++, std::move(job));
+        const std::size_t seq = submitSeq_++;
+        // Round-robin placement by submission index: deterministic
+        // home deques, even initial spread, and tasks stay LIFO-warm
+        // on their home worker until someone runs dry and steals.
+        queues_[seq % jobs_].emplace_back(seq, std::move(job));
         ++inFlight_;
     }
     workReady_.notify_one();
@@ -97,28 +202,65 @@ ThreadPool::wait()
     }
 }
 
-void
-ThreadPool::workerLoop()
+bool
+ThreadPool::takeJob(std::size_t self,
+                    std::pair<std::size_t, std::function<void()>> *out,
+                    bool *stolen)
 {
+    // Caller holds mutex_.  Own deque first, newest job first (LIFO:
+    // the data it touches is still warm); then scan the other workers
+    // round-robin from our own index and steal their OLDEST job (FIFO:
+    // the one its owner would reach last, minimizing contention on
+    // what the owner is about to pop).
+    auto &own = queues_[self];
+    if (!own.empty()) {
+        *out = std::move(own.back());
+        own.pop_back();
+        *stolen = false;
+        return true;
+    }
+    for (std::size_t i = 1; i < jobs_; ++i) {
+        auto &victim = queues_[(self + i) % jobs_];
+        if (victim.empty())
+            continue;
+        *out = std::move(victim.front());
+        victim.pop_front();
+        *stolen = true;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    if (numaPinEnabled())
+        pinWorkerRoundRobin(self);
     for (;;) {
-        std::size_t seq = 0;
-        std::function<void()> job;
+        std::pair<std::size_t, std::function<void()>> item;
+        bool stolen = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            workReady_.wait(
-                lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping_ and drained
-            seq = queue_.front().first;
-            job = std::move(queue_.front().second);
-            queue_.pop_front();
+            workReady_.wait(lock, [this] {
+                if (stopping_)
+                    return true;
+                for (const auto &q : queues_)
+                    if (!q.empty())
+                        return true;
+                return false;
+            });
+            if (!takeJob(self, &item, &stolen))
+                return; // stopping_ and every deque drained
         }
         try {
+            if (stolen)
+                fault::maybeThrow("pool_steal");
             fault::maybeThrow("pool_task");
-            job();
+            item.second();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
-            recordException(seq);
+            recordException(item.first);
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

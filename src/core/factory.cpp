@@ -236,12 +236,17 @@ makeScheme(const SchemeConfig &config, RowAddr num_rows)
 
 std::vector<std::unique_ptr<MitigationScheme>>
 makeBankSchemes(const SchemeConfig &config, RowAddr num_rows,
-                std::uint32_t num_banks)
+                std::uint32_t num_banks, std::uint32_t first_bank)
 {
     std::vector<std::unique_ptr<MitigationScheme>> schemes;
     schemes.reserve(num_banks);
     const bool pooled = wantsSharedPool(config);
     const std::uint32_t width = resolveBundleWidth(config);
+    if (pooled && first_bank % config.banksPerPool != 0)
+        CATSIM_FATAL("first_bank=", first_bank,
+                     " splits a banksPerPool=", config.banksPerPool,
+                     " counter-pool group (shard boundaries must align "
+                     "to pool groups)");
 
     if (width > 1) {
         // Bundle-backed CAT group: one SoA arena per `width`
@@ -278,7 +283,7 @@ makeBankSchemes(const SchemeConfig &config, RowAddr num_rows,
                 config.numCounters * group);
         }
         SchemeConfig cfg = config;
-        cfg.seed = config.seed * 1000003ULL + b;
+        cfg.seed = config.seed * 1000003ULL + (first_bank + b);
         schemes.push_back(makeOne(cfg, num_rows, pool));
     }
     return schemes;

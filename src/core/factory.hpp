@@ -112,16 +112,20 @@ std::unique_ptr<MitigationScheme> makeScheme(const SchemeConfig &config,
  * Build the scheme instances for @p num_banks banks (flat bank order;
  * entry b is bank b's scheme, or nullptr for SchemeKind::None).  Each
  * bank's config derives its seed exactly as the historical per-bank
- * loops did (seed * 1000003 + bank), so per-bank construction is
- * byte-identical to calling makeScheme in a loop.  With
- * config.banksPerPool = k > 1 and a CAT-family kind, each group of k
- * consecutive banks (a rank, when k = banksPerRank) shares one
- * SharedCounterPool of k x numCounters counters; the pool's lifetime
- * is tied to the returned schemes.
+ * loops did (seed * 1000003 + GLOBAL bank index, where the global
+ * index is first_bank + b), so per-bank construction is byte-identical
+ * to calling makeScheme in a loop - and a shard building banks
+ * [first_bank, first_bank + num_banks) gets the same instances the
+ * whole-topology call would.  With config.banksPerPool = k > 1 and a
+ * CAT-family kind, each group of k consecutive banks (a rank, when
+ * k = banksPerRank) shares one SharedCounterPool of k x numCounters
+ * counters; the pool's lifetime is tied to the returned schemes, and
+ * first_bank must be a multiple of k (fatal otherwise) so shard
+ * boundaries never split a pool group.
  */
 std::vector<std::unique_ptr<MitigationScheme>> makeBankSchemes(
     const SchemeConfig &config, RowAddr num_rows,
-    std::uint32_t num_banks);
+    std::uint32_t num_banks, std::uint32_t first_bank = 0);
 
 } // namespace catsim
 

@@ -40,11 +40,12 @@ class SequentialBankActor : public SimActor
   public:
     SequentialBankActor(EventEngine &engine, ActivationSource &source,
                         const SchemeConfig &scheme_config,
-                        RowAddr rows_per_bank, std::uint32_t bank_idx)
+                        RowAddr rows_per_bank, std::uint32_t bank_idx,
+                        std::uint32_t global_bank)
         : engine_(engine), source_(source), config_(scheme_config),
           rowsPerBank_(rows_per_bank), bankIdx_(bank_idx)
     {
-        config_.seed = scheme_config.seed * 1000003ULL + bank_idx;
+        config_.seed = scheme_config.seed * 1000003ULL + global_bank;
         id_ = engine_.addActor(this, EventEngine::ActorRole::Source);
         engine_.schedule(id_, static_cast<SimTime>(bank_idx));
     }
@@ -256,7 +257,8 @@ class BundleGroupActor : public SimActor
 ReplayResult
 replaySources(
     const std::vector<std::unique_ptr<ActivationSource>> &sources,
-    const SchemeConfig &scheme_config, RowAddr rows_per_bank)
+    const SchemeConfig &scheme_config, RowAddr rows_per_bank,
+    std::uint32_t first_bank)
 {
     ReplayResult res;
     res.banks = sources.size();
@@ -271,7 +273,7 @@ replaySources(
         // resolves roughly in parallel (see PooledBankActor).
         auto schemes = makeBankSchemes(
             scheme_config, rows_per_bank,
-            static_cast<std::uint32_t>(sources.size()));
+            static_cast<std::uint32_t>(sources.size()), first_bank);
         for (std::size_t b = 0; b < sources.size(); ++b)
             if (sources[b] && !schemes[b])
                 CATSIM_FATAL("replay needs a real scheme, not None");
@@ -308,7 +310,7 @@ replaySources(
         // arrays) costs nothing.
         auto schemes = makeBankSchemes(
             scheme_config, rows_per_bank,
-            static_cast<std::uint32_t>(sources.size()));
+            static_cast<std::uint32_t>(sources.size()), first_bank);
         std::vector<std::unique_ptr<BundleGroupActor>> groups;
         std::vector<BundleGroupActor::Lane> lanes;
         TreeBundle *current = nullptr;
@@ -352,7 +354,8 @@ replaySources(
             continue;
         actors.push_back(std::make_unique<SequentialBankActor>(
             engine, *sources[b], scheme_config, rows_per_bank,
-            static_cast<std::uint32_t>(b)));
+            static_cast<std::uint32_t>(b),
+            first_bank + static_cast<std::uint32_t>(b)));
     }
     engine.run();
 

@@ -56,10 +56,17 @@ ReplayResult replayActivations(
  * stepped one activation at a time and receive the scheme's
  * RefreshAction after each - this is how adaptive attackers observe
  * the defense.  Null entries are skipped (bank idle).
+ *
+ * @param first_bank Global flat-bank index of sources[0].  A shard
+ *     replaying banks [first_bank, first_bank + n) produces exactly
+ *     the per-bank schemes (seeds, pool groups) the whole-topology
+ *     call would, so sharded results merge bit-identically; must be
+ *     pool-group-aligned when scheme_config.banksPerPool > 1.
  */
 ReplayResult replaySources(
     const std::vector<std::unique_ptr<ActivationSource>> &sources,
-    const SchemeConfig &scheme_config, RowAddr rows_per_bank);
+    const SchemeConfig &scheme_config, RowAddr rows_per_bank,
+    std::uint32_t first_bank = 0);
 
 } // namespace catsim
 

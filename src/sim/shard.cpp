@@ -1,0 +1,485 @@
+#include "shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace catsim
+{
+
+std::uint32_t
+defaultShards()
+{
+    if (const char *env = std::getenv("CATSIM_SHARDS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<std::uint32_t>(v);
+    }
+    return 1;
+}
+
+namespace
+{
+
+bool
+keepGoingFromEnv()
+{
+    const char *env = std::getenv("CATSIM_SWEEP_KEEP_GOING");
+    return env && std::string(env) == "1";
+}
+
+/** Journal blob codec for one shard's ReplayResult (all integers). */
+std::string
+encodeReplay(const ReplayResult &r)
+{
+    BlobWriter w;
+    w.putU64(r.stats.activations);
+    w.putU64(r.stats.refreshEvents);
+    w.putU64(r.stats.victimRowsRefreshed);
+    w.putU64(r.stats.sramAccesses);
+    w.putU64(r.stats.prngBits);
+    w.putU64(r.stats.splits);
+    w.putU64(r.stats.merges);
+    w.putU64(r.stats.epochResets);
+    w.putU64(r.stats.counterDramReads);
+    w.putU64(r.stats.counterDramWrites);
+    w.putU64(r.banks);
+    w.putU64(r.epochs);
+    return w.str();
+}
+
+bool
+decodeReplay(const std::string &blob, ReplayResult *r)
+{
+    BlobReader rd(blob);
+    return rd.getU64(&r->stats.activations)
+           && rd.getU64(&r->stats.refreshEvents)
+           && rd.getU64(&r->stats.victimRowsRefreshed)
+           && rd.getU64(&r->stats.sramAccesses)
+           && rd.getU64(&r->stats.prngBits)
+           && rd.getU64(&r->stats.splits)
+           && rd.getU64(&r->stats.merges)
+           && rd.getU64(&r->stats.epochResets)
+           && rd.getU64(&r->stats.counterDramReads)
+           && rd.getU64(&r->stats.counterDramWrites)
+           && rd.getU64(&r->banks) && rd.getU64(&r->epochs)
+           && rd.atEnd();
+}
+
+std::string
+currentExceptionMessage()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+/**
+ * Feed one bank's window slice (rows + kEpochMarker sentinels) to its
+ * persistent scheme.  Batch boundaries are semantically per-row, so
+ * splitting at window edges is invisible in the results.
+ */
+Count
+feedWindowSlice(MitigationScheme &scheme, const std::vector<RowAddr> &rows)
+{
+    Count epochs = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] != kEpochMarker)
+            continue;
+        if (i > start)
+            scheme.onActivateBatch(rows.data() + start, i - start);
+        scheme.onEpoch();
+        ++epochs;
+        start = i + 1;
+    }
+    if (start < rows.size())
+        scheme.onActivateBatch(rows.data() + start, rows.size() - start);
+    return epochs;
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::make(std::uint32_t num_banks, std::uint32_t num_shards,
+                std::uint32_t banks_per_pool)
+{
+    if (num_banks == 0)
+        CATSIM_FATAL("ShardPlan needs at least one bank");
+    const std::uint32_t align = std::max<std::uint32_t>(banks_per_pool, 1);
+    // Pool groups are the indivisible unit: a shard boundary inside a
+    // group would split a SharedCounterPool (tail group may be short).
+    const std::uint32_t groups = (num_banks + align - 1) / align;
+    const std::uint32_t shards =
+        std::min(std::max<std::uint32_t>(num_shards, 1), groups);
+
+    ShardPlan plan;
+    plan.numBanks_ = num_banks;
+    plan.shards_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const std::uint32_t g0 =
+            static_cast<std::uint32_t>(std::uint64_t(groups) * s / shards);
+        const std::uint32_t g1 = static_cast<std::uint32_t>(
+            std::uint64_t(groups) * (s + 1) / shards);
+        const std::uint32_t first = g0 * align;
+        const std::uint32_t last = std::min(g1 * align, num_banks);
+        plan.shards_.push_back({first, last - first});
+    }
+    return plan;
+}
+
+std::string
+ShardPlan::spec() const
+{
+    return "banks=" + std::to_string(numBanks_) + "/shards="
+           + std::to_string(shards_.size());
+}
+
+ShardedSim::ShardedSim(SchemeConfig scheme, RowAddr rows_per_bank,
+                       ShardPlan plan, std::size_t jobs)
+    : scheme_(std::move(scheme)), rowsPerBank_(rows_per_bank),
+      plan_(std::move(plan)), jobs_(jobs ? jobs : 1),
+      checkpointDir_(checkpointDirFromEnv()),
+      keepGoing_(keepGoingFromEnv())
+{
+}
+
+std::vector<std::string>
+ShardedSim::shardKeys(const char *kind) const
+{
+    std::vector<std::string> keys;
+    keys.reserve(plan_.numShards());
+    for (std::size_t i = 0; i < plan_.numShards(); ++i) {
+        const ShardRange &r = plan_.shards()[i];
+        keys.push_back(std::string(kind) + "-shard#" + std::to_string(i)
+                       + "|first=" + std::to_string(r.firstBank)
+                       + "|n=" + std::to_string(r.numBanks));
+    }
+    return keys;
+}
+
+std::string
+ShardedSim::runKey(const char *kind, const std::string &tag,
+                   std::uint64_t seq,
+                   const std::vector<std::string> &keys) const
+{
+    std::ostringstream os;
+    os << "fleet-" << kind << "|tag=" << tag << "|seq=" << seq << '|'
+       << scheme_.format() << "|rows=" << rowsPerBank_ << '|'
+       << plan_.spec();
+    for (const auto &k : keys)
+        os << '|' << k;
+    return os.str();
+}
+
+void
+ShardedSim::finishTotals(FleetResult *fleet,
+                         const std::vector<char> &live) const
+{
+    fleet->total = ReplayResult{};
+    for (std::size_t i = 0; i < fleet->perShard.size(); ++i) {
+        if (!live[i])
+            continue;
+        fleet->total.stats.add(fleet->perShard[i].stats);
+        fleet->total.banks += fleet->perShard[i].banks;
+    }
+    // Epochs follow the unsharded replay's bank-0 rule: the shard
+    // holding global bank 0 is always shard 0 (contiguous ranges).
+    if (!fleet->perShard.empty() && live[0])
+        fleet->total.epochs = fleet->perShard[0].epochs;
+}
+
+FleetResult
+ShardedSim::runShards(
+    const char *kind, const std::string &tag,
+    const std::function<ReplayResult(const ShardRange &, std::size_t)>
+        &eval_shard)
+{
+    const std::size_t n = plan_.numShards();
+    FleetResult fleet;
+    fleet.perShard.resize(n);
+    std::vector<char> done(n, 0);
+    std::vector<char> live(n, 1);
+    const std::uint64_t seq = callSeq_[std::string(kind) + '|' + tag]++;
+
+    std::unique_ptr<CheckpointJournal> journal;
+    const std::vector<std::string> keys = shardKeys(kind);
+    if (!checkpointDir_.empty()) {
+        journal = std::make_unique<CheckpointJournal>(
+            checkpointDir_, runKey(kind, tag, seq, keys));
+        std::string blob;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (journal->lookup(keys[i], &blob)
+                && decodeReplay(blob, &fleet.perShard[i])) {
+                done[i] = 1;
+                ++fleet.resumedShards;
+            }
+        }
+        if (fleet.resumedShards > 0)
+            CATSIM_INFORM("checkpoint: resumed ", fleet.resumedShards,
+                          "/", n, " fleet ", kind, " shards from ",
+                          journal->path());
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!done[i])
+            pending.push_back(i);
+
+    std::mutex errMutex;
+    ThreadPool pool(std::min(jobs_, std::max<std::size_t>(
+                                        pending.size(), 1)));
+    for (const std::size_t i : pending) {
+        pool.submit([this, i, &fleet, &live, &keys, &eval_shard,
+                     &journal, &errMutex] {
+            const ShardRange &range = plan_.shards()[i];
+            if (!keepGoing_) {
+                try {
+                    fault::maybeThrow("shard_task");
+                    fleet.perShard[i] = eval_shard(range, i);
+                } catch (const std::exception &e) {
+                    throw std::runtime_error(
+                        "shard " + std::to_string(i) + ": " + e.what());
+                }
+            } else {
+                int attempts = 0;
+                for (;;) {
+                    ++attempts;
+                    try {
+                        fault::maybeThrow("shard_task");
+                        fleet.perShard[i] = eval_shard(range, i);
+                        break;
+                    } catch (...) {
+                        if (attempts < 2)
+                            continue; // transient? one retry
+                        ShardError err;
+                        err.shard = i;
+                        err.message = currentExceptionMessage();
+                        err.attempts = attempts;
+                        {
+                            std::lock_guard<std::mutex> lock(errMutex);
+                            fleet.errors.push_back(std::move(err));
+                        }
+                        live[i] = 0;
+                        return; // failed shards are never journaled
+                    }
+                }
+            }
+            if (journal) {
+                try {
+                    journal->append(keys[i],
+                                    encodeReplay(fleet.perShard[i]));
+                } catch (const std::exception &e) {
+                    if (!keepGoing_)
+                        throw;
+                    CATSIM_WARN("checkpoint append failed for shard ",
+                                i, ": ", e.what());
+                }
+            }
+        });
+    }
+    pool.wait();
+    fleet.steals = pool.steals();
+
+    std::sort(fleet.errors.begin(), fleet.errors.end(),
+              [](const ShardError &a, const ShardError &b) {
+                  return a.shard < b.shard;
+              });
+    if (!fleet.errors.empty()) {
+        CATSIM_WARN("fleet keep-going: ", fleet.errors.size(), "/", n,
+                    " shards failed permanently; they are excluded "
+                    "from the merged totals and were not checkpointed");
+        for (const auto &e : fleet.errors)
+            CATSIM_WARN("  shard ", e.shard, ", ", e.attempts,
+                        " attempts: ", e.message);
+    }
+    finishTotals(&fleet, live);
+    return fleet;
+}
+
+FleetResult
+ShardedSim::run(const SourceFactory &make_source, const std::string &tag)
+{
+    if (scheme_.kind == SchemeKind::None)
+        CATSIM_FATAL("fleet replay needs a real scheme, not None");
+    return runShards(
+        "run", tag,
+        [this, &make_source](const ShardRange &range, std::size_t) {
+            std::vector<std::unique_ptr<ActivationSource>> sources;
+            sources.reserve(range.numBanks);
+            for (std::uint32_t b = 0; b < range.numBanks; ++b)
+                sources.push_back(make_source(range.firstBank + b));
+            return replaySources(sources, scheme_, rowsPerBank_,
+                                 range.firstBank);
+        });
+}
+
+FleetResult
+ShardedSim::replayTrace(TraceStream &stream, const AddressMapper &mapper,
+                        const DramGeometry &geometry,
+                        std::uint64_t epoch_every,
+                        std::size_t window_records,
+                        const std::string &tag)
+{
+    if (scheme_.kind == SchemeKind::None)
+        CATSIM_FATAL("fleet replay needs a real scheme, not None");
+    if (scheme_.banksPerPool > 1
+        && (scheme_.kind == SchemeKind::Prcat
+            || scheme_.kind == SchemeKind::Drcat))
+        CATSIM_FATAL(
+            "streamed trace replay cannot reproduce the pooled "
+            "round-robin interleave window by window; use the in-RAM "
+            "path (traceBankStreams + replayActivations) for "
+            "banksPerPool > 1");
+    if (geometry.totalBanks() != plan_.numBanks())
+        CATSIM_FATAL("ShardPlan covers ", plan_.numBanks(),
+                     " banks but the geometry has ",
+                     geometry.totalBanks());
+
+    const std::size_t n = plan_.numShards();
+    FleetResult fleet;
+    fleet.perShard.resize(n);
+    std::vector<char> live(n, 1);
+    const std::uint64_t seq = callSeq_[std::string("trace|") + tag]++;
+
+    // All-or-nothing resume: per-shard results only exist once the
+    // whole trace has streamed, so a journal either replays the full
+    // fleet (without touching the trace) or the run starts over.
+    std::unique_ptr<CheckpointJournal> journal;
+    const std::vector<std::string> keys = shardKeys("trace");
+    if (!checkpointDir_.empty()) {
+        // epoch_every changes the results (window size does not), so
+        // it is part of the run identity.
+        journal = std::make_unique<CheckpointJournal>(
+            checkpointDir_,
+            runKey("trace",
+                   tag + "|epoch=" + std::to_string(epoch_every), seq,
+                   keys));
+        std::string blob;
+        std::size_t found = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (journal->lookup(keys[i], &blob)
+                && decodeReplay(blob, &fleet.perShard[i]))
+                ++found;
+        if (found == n) {
+            CATSIM_INFORM("checkpoint: resumed full fleet trace replay "
+                          "(", n, " shards) from ", journal->path());
+            fleet.resumedShards = n;
+            finishTotals(&fleet, live);
+            return fleet;
+        }
+        for (auto &r : fleet.perShard)
+            r = ReplayResult{};
+    }
+
+    // Persistent per-shard schemes: state carries across windows, so
+    // the concatenated feed equals the one-shot in-RAM replay.
+    std::vector<std::vector<std::unique_ptr<MitigationScheme>>> schemes(n);
+    std::vector<Count> epochs(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const ShardRange &r = plan_.shards()[i];
+        schemes[i] = makeBankSchemes(scheme_, rowsPerBank_, r.numBanks,
+                                     r.firstBank);
+    }
+
+    TraceWindower windower(stream, mapper, geometry, epoch_every,
+                           window_records);
+    std::vector<std::vector<RowAddr>> window;
+    std::mutex errMutex;
+    ThreadPool pool(std::min(jobs_, n));
+    while (windower.next(&window)) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!live[i])
+                continue; // dead shards skip the rest of the stream
+            pool.submit([this, i, &schemes, &epochs, &window, &live,
+                         &fleet, &errMutex] {
+                const ShardRange &range = plan_.shards()[i];
+                try {
+                    fault::maybeThrow("shard_task");
+                    for (std::uint32_t b = 0; b < range.numBanks; ++b) {
+                        const auto &rows = window[range.firstBank + b];
+                        if (rows.empty())
+                            continue;
+                        const Count e =
+                            feedWindowSlice(*schemes[i][b], rows);
+                        if (range.firstBank + b == 0)
+                            epochs[i] += e;
+                    }
+                } catch (...) {
+                    if (!keepGoing_) {
+                        try {
+                            throw;
+                        } catch (const std::exception &e) {
+                            throw std::runtime_error(
+                                "shard " + std::to_string(i) + ": "
+                                + e.what());
+                        }
+                    }
+                    // No retry here: the shard's scheme state may
+                    // already hold part of this window, so a re-feed
+                    // would double-count.  Record and drop the shard;
+                    // the rest of the fleet keeps streaming.
+                    ShardError err;
+                    err.shard = i;
+                    err.message = currentExceptionMessage();
+                    err.attempts = 1;
+                    {
+                        std::lock_guard<std::mutex> lock(errMutex);
+                        fleet.errors.push_back(std::move(err));
+                    }
+                    live[i] = 0;
+                }
+            });
+        }
+        pool.wait();
+    }
+    fleet.steals = pool.steals();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i])
+            continue;
+        ReplayResult &r = fleet.perShard[i];
+        r.banks = plan_.shards()[i].numBanks;
+        r.epochs = epochs[i];
+        for (const auto &s : schemes[i])
+            if (s)
+                r.stats.add(s->stats());
+        if (journal) {
+            try {
+                journal->append(keys[i], encodeReplay(r));
+            } catch (const std::exception &e) {
+                if (!keepGoing_)
+                    throw;
+                CATSIM_WARN("checkpoint append failed for shard ", i,
+                            ": ", e.what());
+            }
+        }
+    }
+
+    std::sort(fleet.errors.begin(), fleet.errors.end(),
+              [](const ShardError &a, const ShardError &b) {
+                  return a.shard < b.shard;
+              });
+    if (!fleet.errors.empty()) {
+        CATSIM_WARN("fleet keep-going: ", fleet.errors.size(), "/", n,
+                    " trace shards failed; they are excluded from the "
+                    "merged totals and were not checkpointed");
+        for (const auto &e : fleet.errors)
+            CATSIM_WARN("  shard ", e.shard, ": ", e.message);
+    }
+    finishTotals(&fleet, live);
+    return fleet;
+}
+
+} // namespace catsim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Fleet-scale sharded simulation.
+ *
+ * A ShardPlan carves a topology's flat bank space into contiguous
+ * per-shard ranges; ShardedSim runs one independent replay per shard
+ * and merges the results.  Each shard builds its OWN schemes and
+ * sources inside its worker job - the factory packs a shard's
+ * TreeBundles into that shard's arenas, and because construction
+ * happens on the worker thread, first-touch allocation keeps each
+ * shard's slab local to the NUMA node the worker is pinned to
+ * (CATSIM_NUMA_PIN=1).  Shards share no mutable state; the only
+ * cross-shard traffic is the result merge on the caller's thread.
+ *
+ * Determinism: a shard over banks [first, first+n) builds exactly the
+ * per-bank schemes the whole-topology run would (global-bank seed
+ * derivation and pool grouping via makeBankSchemes' first_bank), shard
+ * boundaries are aligned to counter-pool groups so no pool is ever
+ * split, and SchemeStats merge by integer summation (order-free).  So
+ * the merged FleetResult is bit-identical at ANY shard count and ANY
+ * CATSIM_JOBS - the scaling knobs move work between cores, never
+ * results.  Epoch counts are taken from the shard owning global bank
+ * 0, matching the unsharded replay's bank-0 rule.
+ *
+ * Fleet runs checkpoint per shard through the PR 8 journal
+ * (CATSIM_CHECKPOINT=dir): a SIGKILLed run resumes with finished
+ * shards decoded from disk and only the rest re-run, byte-identically.
+ * With CATSIM_SWEEP_KEEP_GOING=1 a failing shard is retried once and
+ * then reported as a structured ShardError while the rest of the
+ * fleet completes (the `shard_task` fail point injects such failures
+ * deterministically).
+ */
+
+#ifndef CATSIM_SIM_SHARD_HPP
+#define CATSIM_SIM_SHARD_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "controller/address_mapping.hpp"
+#include "core/factory.hpp"
+#include "dram/geometry.hpp"
+#include "sim/activation_sim.hpp"
+#include "sim/activation_source.hpp"
+#include "trace/trace_ingest.hpp"
+
+namespace catsim
+{
+
+/** Shard count from CATSIM_SHARDS (>= 1); 1 when unset/unparsable. */
+std::uint32_t defaultShards();
+
+/** One shard's contiguous slice of the flat bank space. */
+struct ShardRange
+{
+    std::uint32_t firstBank = 0;
+    std::uint32_t numBanks = 0;
+};
+
+/**
+ * Partition of num_banks flat banks into contiguous shard ranges,
+ * balanced to within one pool group.  Boundaries always align to
+ * banks_per_pool groups, so a SharedCounterPool never straddles
+ * shards; the shard count is clamped to the number of groups.
+ */
+class ShardPlan
+{
+  public:
+    static ShardPlan make(std::uint32_t num_banks,
+                          std::uint32_t num_shards,
+                          std::uint32_t banks_per_pool = 1);
+
+    const std::vector<ShardRange> &shards() const { return shards_; }
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    std::uint32_t numBanks() const { return numBanks_; }
+
+    /** Canonical "banks=B/shards=S" string (journal keys, logs). */
+    std::string spec() const;
+
+  private:
+    std::vector<ShardRange> shards_;
+    std::uint32_t numBanks_ = 0;
+};
+
+/** A shard that failed permanently in keep-going mode. */
+struct ShardError
+{
+    std::size_t shard = 0;   //!< index into plan().shards()
+    std::string message;
+    int attempts = 0;
+};
+
+/** Merged fleet replay outcome. */
+struct FleetResult
+{
+    ReplayResult total;                  //!< summed over live shards
+    std::vector<ReplayResult> perShard;  //!< indexed by shard
+    std::vector<ShardError> errors;      //!< keep-going failures, by shard
+    std::uint64_t steals = 0;            //!< pool steals (telemetry)
+    std::size_t resumedShards = 0;       //!< decoded from the journal
+};
+
+/**
+ * Runs a sharded replay: one job per shard on a work-stealing pool
+ * (uneven shards - attacked banks run hot - are what the stealing is
+ * for), merged into one FleetResult.
+ */
+class ShardedSim
+{
+  public:
+    /** Builds bank @p global_bank's source (nullptr = idle bank). */
+    using SourceFactory =
+        std::function<std::unique_ptr<ActivationSource>(
+            std::uint32_t global_bank)>;
+
+    ShardedSim(SchemeConfig scheme, RowAddr rows_per_bank,
+               ShardPlan plan, std::size_t jobs = defaultJobs());
+
+    const ShardPlan &plan() const { return plan_; }
+
+    /**
+     * Source-driven fleet run: each shard builds its banks' sources
+     * via @p make_source and replays them through replaySources with
+     * its global first_bank, journaling the shard's ReplayResult under
+     * @p tag when CATSIM_CHECKPOINT is set.
+     */
+    FleetResult run(const SourceFactory &make_source,
+                    const std::string &tag);
+
+    /**
+     * Streaming trace fleet replay: windows @p stream through a
+     * TraceWindower (bounded memory - feed it a StreamingTraceReader
+     * and the trace is never resident) and feeds each window's
+     * per-bank rows to persistent per-shard schemes.  Restricted to
+     * private-pool configs (banksPerPool == 1): the pooled replay's
+     * round-robin contention interleave is not reproducible window by
+     * window, so pooled trace replays must use the in-RAM path (fatal
+     * here).  Journaled all-or-nothing under @p tag: a completed run
+     * resumes from the journal without touching the trace; a partial
+     * one re-streams from the start.
+     */
+    FleetResult replayTrace(TraceStream &stream,
+                            const AddressMapper &mapper,
+                            const DramGeometry &geometry,
+                            std::uint64_t epoch_every,
+                            std::size_t window_records,
+                            const std::string &tag);
+
+  private:
+    FleetResult runShards(
+        const char *kind, const std::string &tag,
+        const std::function<ReplayResult(const ShardRange &,
+                                         std::size_t)> &eval_shard);
+    std::vector<std::string> shardKeys(const char *kind) const;
+    std::string runKey(const char *kind, const std::string &tag,
+                       std::uint64_t seq,
+                       const std::vector<std::string> &keys) const;
+    void finishTotals(FleetResult *fleet,
+                      const std::vector<char> &live) const;
+
+    SchemeConfig scheme_;
+    RowAddr rowsPerBank_;
+    ShardPlan plan_;
+    std::size_t jobs_;
+    std::string checkpointDir_;
+    bool keepGoing_;
+    std::map<std::string, std::uint64_t> callSeq_;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_SIM_SHARD_HPP

@@ -41,6 +41,28 @@ writeTraceFile(const std::string &path, TraceStream &stream)
     return n;
 }
 
+bool
+parseNativeTraceLine(const std::string &line, std::size_t lineno,
+                     const std::string &path, TraceRecord *out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    std::istringstream is(line);
+    TraceRecord r;
+    char op = 0;
+    std::string addr;
+    if (!(is >> r.gap >> op >> addr))
+        CATSIM_FATAL("bad trace line ", lineno, " in '", path, "'");
+    if (op != 'R' && op != 'W')
+        CATSIM_FATAL("bad op '", op, "' at line ", lineno);
+    r.isWrite = (op == 'W');
+    if (!parseTraceAddr(addr, &r.addr))
+        CATSIM_FATAL("bad address '", addr, "' at line ", lineno,
+                     " in '", path, "'");
+    *out = r;
+    return true;
+}
+
 VectorTrace
 readTraceFile(const std::string &path)
 {
@@ -53,21 +75,9 @@ readTraceFile(const std::string &path)
     while (std::getline(in, line)) {
         ++lineno;
         fault::maybeThrow("trace_ingest_read");
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream is(line);
         TraceRecord r;
-        char op = 0;
-        std::string addr;
-        if (!(is >> r.gap >> op >> addr))
-            CATSIM_FATAL("bad trace line ", lineno, " in '", path, "'");
-        if (op != 'R' && op != 'W')
-            CATSIM_FATAL("bad op '", op, "' at line ", lineno);
-        r.isWrite = (op == 'W');
-        if (!parseTraceAddr(addr, &r.addr))
-            CATSIM_FATAL("bad address '", addr, "' at line ", lineno,
-                         " in '", path, "'");
-        trace.push(r);
+        if (parseNativeTraceLine(line, lineno, path, &r))
+            trace.push(r);
     }
     return trace;
 }

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/parallel.hpp"
 
 namespace catsim
@@ -216,6 +219,134 @@ TEST(Parallel, ParallelForReportsLowestFailingCell)
                 << "jobs=" << jobs << ": " << what;
         }
     }
+}
+
+TEST(Parallel, ThreadPoolStealsFromLoadedWorker)
+{
+    // Round-robin placement homes submissions 0,4,8,... on worker 0.
+    // Making exactly those slow gives worker 0 a ~300 ms backlog while
+    // workers 1-3 drain their fast tasks almost instantly - they MUST
+    // steal to finish, and every task still runs exactly once.
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> ran(64);
+    for (auto &r : ran)
+        r.store(0);
+    for (std::size_t i = 0; i < 64; ++i) {
+        pool.submit([i, &ran] {
+            if (i % 4 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            ran[i].fetch_add(1);
+        });
+    }
+    pool.wait();
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+    EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(Parallel, StealingStillReportsLowestSubmissionIndex)
+{
+    // Same skew as above, but every task throws.  Steals reorder WHERE
+    // tasks run; the surfaced error must still be submission 0's.
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < 32; ++i) {
+        pool.submit([i] {
+            if (i % 4 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            throw std::runtime_error("err" + std::to_string(i));
+        });
+    }
+    try {
+        pool.wait();
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("task 0:"), std::string::npos) << what;
+        EXPECT_NE(what.find("err0"), std::string::npos) << what;
+    }
+}
+
+TEST(Parallel, StealSiteFaultIsAttributedToTheStolenTask)
+{
+    // Arm every pool_steal hit: any stolen task dies at the steal
+    // boundary.  With worker 0 buried in sleeps, steals are forced, so
+    // wait() must surface a FaultInjected-derived failure - proving
+    // the fail-point registry covers the stealing path.
+    fault::installFailpoints("pool_steal@*");
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (std::size_t i = 0; i < 64; ++i) {
+        pool.submit([i, &ran] {
+            if (i % 4 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            ran.fetch_add(1);
+        });
+    }
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const std::runtime_error &e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find("pool_steal"),
+                  std::string::npos)
+            << e.what();
+    }
+    fault::installFailpoints("");
+    EXPECT_GT(pool.steals(), 0u);
+    EXPECT_TRUE(threw);
+}
+
+TEST(Parallel, ParallelForBitIdenticalAcrossJobCounts)
+{
+    // Each cell is a pure function of its index; any job count (and
+    // any steal schedule) must produce the same output vector.
+    auto cell = [](std::size_t i) {
+        std::uint64_t h = i * 0x9E3779B97F4A7C15ULL + 1;
+        h ^= h >> 31;
+        return h * 0xBF58476D1CE4E5B9ULL;
+    };
+    const std::size_t n = 97;
+    std::vector<std::uint64_t> ref(n);
+    parallelFor(
+        n, [&ref, &cell](std::size_t i) { ref[i] = cell(i); }, 1);
+    for (std::size_t jobs : {2u, 5u, 16u}) {
+        std::vector<std::uint64_t> out(n, 0);
+        parallelFor(
+            n, [&out, &cell](std::size_t i) { out[i] = cell(i); },
+            jobs);
+        EXPECT_EQ(out, ref) << "jobs=" << jobs;
+    }
+}
+
+TEST(Parallel, NumaPinEnvParse)
+{
+    JobsEnvGuard guard; // unrelated var, but keeps env hygiene local
+    ::unsetenv("CATSIM_NUMA_PIN");
+    EXPECT_FALSE(numaPinEnabled());
+    ::setenv("CATSIM_NUMA_PIN", "1", 1);
+    EXPECT_TRUE(numaPinEnabled());
+    ::setenv("CATSIM_NUMA_PIN", "0", 1);
+    EXPECT_FALSE(numaPinEnabled());
+    ::unsetenv("CATSIM_NUMA_PIN");
+}
+
+TEST(Parallel, NumaPinnedPoolStillRunsEverything)
+{
+    // Pinning is a placement hint; with it enabled the pool must stay
+    // correct (and be a harmless no-op where sysfs is unavailable).
+    ::setenv("CATSIM_NUMA_PIN", "1", 1);
+    {
+        ThreadPool pool(4);
+        std::atomic<int> counter{0};
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(counter.load(), 200);
+    }
+    ::unsetenv("CATSIM_NUMA_PIN");
 }
 
 TEST(Parallel, ParallelForSerialNamesFailingIndex)
