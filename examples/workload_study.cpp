@@ -43,20 +43,26 @@ main(int argc, char **argv)
     WorkloadSpec w;
     w.name = name;
 
-    SchemeConfig schemes[] = {
-        SchemeConfig{SchemeKind::Pra, 0, 0, threshold,
-                     threshold <= 16384 ? 0.003 : 0.002, 8, 1, false,
-                     {}},
-        SchemeConfig{SchemeKind::Sca, 64, 0, threshold, 0, 8, 1,
-                     false, {}},
-        SchemeConfig{SchemeKind::Sca, 128, 0, threshold, 0, 8, 1,
-                     false, {}},
-        SchemeConfig{SchemeKind::Prcat, 64, 11, threshold, 0, 8, 1,
-                     false, {}},
-        SchemeConfig{SchemeKind::Drcat, 64, 11, threshold, 0, 8, 1,
-                     false, {}},
-        SchemeConfig{SchemeKind::CounterCache, 2048, 0, threshold, 0,
-                     8, 1, false, {}},
+    const auto mk = [threshold](SchemeKind kind,
+                                std::uint32_t counters,
+                                std::uint32_t levels, double p = 0) {
+        SchemeConfig s;
+        s.kind = kind;
+        s.numCounters = counters;
+        s.maxLevels = levels;
+        s.threshold = threshold;
+        if (p > 0)
+            s.praProbability = p;
+        return s;
+    };
+    const SchemeConfig schemes[] = {
+        mk(SchemeKind::Pra, 0, 0,
+           threshold <= 16384 ? 0.003 : 0.002),
+        mk(SchemeKind::Sca, 64, 0),
+        mk(SchemeKind::Sca, 128, 0),
+        mk(SchemeKind::Prcat, 64, 11),
+        mk(SchemeKind::Drcat, 64, 11),
+        mk(SchemeKind::CounterCache, 2048, 0),
     };
 
     TextTable table({"scheme", "CMRPO", "dyn mW", "static mW",

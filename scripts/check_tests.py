@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""ctest registration drift guard.
+
+The build registers tests by globbing ``tests/test_*.cpp``, so a new
+test file that never shows up in ``ctest -N`` (stale configure, typo'd
+name, glob miss) silently runs zero tests while CI stays green.  This
+script closes that hole: every ``tests/test_*.cpp`` stem must appear as
+a ctest test, and every ctest test must map back to a source file.
+
+Rules, mirroring CMakeLists.txt:
+
+1. Each ``tests/test_<x>.cpp`` registers a ctest entry ``test_<x>``.
+2. A file containing a ``TEST(Slow...`` suite additionally registers
+   ``test_<x>_slow`` (the slow-labeled full run); a file without one
+   must NOT have a ``_slow`` twin.
+3. No ctest entry may exist without a backing source file.
+
+Usage:
+    scripts/check_tests.py [build-dir]    (default: build)
+
+Exit status: 0 when registration matches the sources, 1 on any drift,
+2 on usage/configure errors.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+CTEST_LINE_RE = re.compile(r"^\s*Test\s+#\d+:\s+(\S+)")
+SLOW_SUITE_RE = re.compile(r"^\s*TEST(?:_F)?\(\s*Slow", re.MULTILINE)
+
+
+def ctest_names(build_dir: Path):
+    try:
+        out = subprocess.run(
+            ["ctest", "-N"], cwd=build_dir, check=True,
+            capture_output=True, text=True).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        print(f"error: 'ctest -N' failed in {build_dir}: {exc}",
+              file=sys.stderr)
+        return None
+    return {m.group(1) for m in map(CTEST_LINE_RE.match,
+                                    out.splitlines()) if m}
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    build_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        root / "build"
+    if not (build_dir / "CTestTestfile.cmake").is_file():
+        print(f"error: {build_dir} is not a configured build "
+              f"directory (run cmake first)", file=sys.stderr)
+        return 2
+
+    sources = sorted((root / "tests").glob("test_*.cpp"))
+    if not sources:
+        print("error: no tests/test_*.cpp found", file=sys.stderr)
+        return 2
+    registered = ctest_names(build_dir)
+    if registered is None:
+        return 2
+
+    expected = set()
+    for src in sources:
+        stem = src.stem
+        expected.add(stem)
+        if SLOW_SUITE_RE.search(src.read_text(encoding="utf-8")):
+            expected.add(stem + "_slow")
+
+    failures = 0
+    for name in sorted(expected - registered):
+        print(f"DRIFT: {name} expected from tests/ but not "
+              f"registered in ctest (stale configure or glob miss)")
+        failures += 1
+    for name in sorted(registered - expected):
+        print(f"DRIFT: ctest registers {name} with no backing "
+              f"tests/{re.sub(r'_slow$', '', name)}.cpp")
+        failures += 1
+
+    print(f"checked {len(sources)} test sources against "
+          f"{len(registered)} ctest entries, {failures} drifting")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

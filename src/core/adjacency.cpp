@@ -82,4 +82,22 @@ RowAdjacency::victims(RowAddr row,
     return n;
 }
 
+std::uint32_t
+RowAdjacency::victimsWithin(RowAddr row, std::uint32_t radius,
+                            std::array<RowAddr, 4> &out) const
+{
+    if (radius < 1 || radius > 2)
+        CATSIM_FATAL("victim blast radius must be 1 or 2, got ",
+                     radius);
+    const RowAddr pos = logicalToPhysical(row);
+    std::uint32_t n = 0;
+    for (RowAddr d = 1; d <= radius; ++d) {
+        if (pos >= d)
+            out[n++] = physicalToLogical(pos - d);
+        if (pos + d < numRows_)
+            out[n++] = physicalToLogical(pos + d);
+    }
+    return n;
+}
+
 } // namespace catsim

@@ -62,6 +62,20 @@ class RowAdjacency
     std::uint32_t victims(RowAddr row,
                           std::array<RowAddr, 2> &victims) const;
 
+    /**
+     * Logical ids of the rows within physical distance @p radius of
+     * @p row - the blast radius of modern half-double-style patterns,
+     * where an aggressor disturbs rows two wordlines away.
+     *
+     * @param row     Aggressor (logical id).
+     * @param radius  Blast radius, 1 or 2.
+     * @param out     Output, nearest ring first (pos-1, pos+1, pos-2,
+     *                pos+2), clipped at the bank edges.
+     * @return Number of victims written.
+     */
+    std::uint32_t victimsWithin(RowAddr row, std::uint32_t radius,
+                                std::array<RowAddr, 4> &out) const;
+
     Kind kind() const { return kind_; }
     std::uint32_t blockSize() const { return blockSize_; }
 

@@ -7,8 +7,10 @@
 #include "common/logging.hpp"
 #include "core/counter_cache.hpp"
 #include "core/drcat.hpp"
+#include "core/misra_gries.hpp"
 #include "core/pra.hpp"
 #include "core/prcat.hpp"
+#include "core/rfm.hpp"
 #include "core/sca.hpp"
 #include "core/shared_pool.hpp"
 #include "core/tree_bundle.hpp"
@@ -43,6 +45,12 @@ SchemeConfig::label() const
         if (evictionPolicy != EvictionPolicyKind::Legacy)
             os << '_' << evictionPolicyName(evictionPolicy);
         break;
+      case SchemeKind::MisraGries:
+        os << "MG_" << numCounters;
+        break;
+      case SchemeKind::Rfm:
+        os << "RFM_" << rfmBudget;
+        break;
     }
     if (banksPerPool > 1
         && (kind == SchemeKind::Prcat || kind == SchemeKind::Drcat))
@@ -66,6 +74,10 @@ schemeKindName(SchemeKind kind)
         return "drcat";
       case SchemeKind::CounterCache:
         return "cc";
+      case SchemeKind::MisraGries:
+        return "mg";
+      case SchemeKind::Rfm:
+        return "rfm";
     }
     return "?";
 }
@@ -82,6 +94,8 @@ SchemeConfig::parse(const Config &cfg)
         static_cast<std::uint32_t>(cfg.getUint("threshold", 32768));
     s.praProbability = cfg.getDouble("p", 0.002);
     s.cacheWays = static_cast<std::uint32_t>(cfg.getUint("ways", 8));
+    s.rfmBudget =
+        static_cast<std::uint32_t>(cfg.getUint("rfmbudget", 64));
     s.seed = cfg.getUint("schemeseed", 1);
     s.lfsrPrng = cfg.getBool("lfsr", false);
     // `eviction=` and `bankspool=` are the historical simulate CLI
@@ -111,6 +125,8 @@ SchemeConfig::format() const
         os << " p=" << praProbability;
     if (cacheWays != def.cacheWays)
         os << " ways=" << cacheWays;
+    if (rfmBudget != def.rfmBudget)
+        os << " rfmbudget=" << rfmBudget;
     if (seed != def.seed)
         os << " schemeseed=" << seed;
     if (lfsrPrng)
@@ -140,6 +156,10 @@ parseSchemeKind(const std::string &name)
         return SchemeKind::Drcat;
     if (s == "cc" || s == "countercache")
         return SchemeKind::CounterCache;
+    if (s == "mg" || s == "misragries" || s == "misra-gries")
+        return SchemeKind::MisraGries;
+    if (s == "rfm")
+        return SchemeKind::Rfm;
     CATSIM_FATAL("unknown scheme '", name, "'");
 }
 
@@ -186,6 +206,11 @@ makeOne(const SchemeConfig &config, RowAddr num_rows,
                 ? nullptr
                 : makeEvictionPolicy(config.evictionPolicy,
                                      config.seed));
+      case SchemeKind::MisraGries:
+        return std::make_unique<MisraGries>(
+            num_rows, config.numCounters, config.threshold);
+      case SchemeKind::Rfm:
+        return std::make_unique<Rfm>(num_rows, config.rfmBudget);
     }
     CATSIM_PANIC("unreachable scheme kind");
 }

@@ -28,6 +28,8 @@ enum class SchemeKind
     Prcat,
     Drcat,
     CounterCache,
+    MisraGries, //!< frequent-item tracking (Graphene-style)
+    Rfm,        //!< DDR5 refresh management (rolling ACT counter)
 };
 
 /** Parameters shared by all schemes; unused fields are ignored. */
@@ -39,6 +41,7 @@ struct SchemeConfig
     std::uint32_t threshold = 32768; //!< refresh threshold T
     double praProbability = 0.002;   //!< p (PRA only)
     std::uint32_t cacheWays = 8;     //!< counter-cache associativity
+    std::uint32_t rfmBudget = 64;    //!< ACTs per RFM command (RAAIMT)
     std::uint64_t seed = 1;          //!< PRNG seed (PRA only)
     bool lfsrPrng = false;           //!< use the cheap LFSR for PRA
     /**
@@ -77,9 +80,10 @@ struct SchemeConfig
 
     /**
      * Read the scheme keys of the key=value surface: scheme=,
-     * counters=, levels=, threshold=, p=, lfsr=, ways=, schemeseed=,
-     * policy= (alias eviction=), pool= (alias bankspool=), bundle=.
-     * Missing keys keep the paper defaults above.
+     * counters=, levels=, threshold=, p=, lfsr=, ways=, rfmbudget=,
+     * schemeseed=, policy= (alias eviction=), pool= (alias
+     * bankspool=), bundle=.  Missing keys keep the paper defaults
+     * above.
      */
     static SchemeConfig parse(const Config &cfg);
 
@@ -94,7 +98,7 @@ struct SchemeConfig
 /** Default CAT bundle width (banks per arena) for bundleWidth = 0. */
 constexpr std::uint32_t kDefaultBundleWidth = 16;
 
-/** Parse "none|sca|pra|prcat|drcat|cc" (case-insensitive). */
+/** Parse "none|sca|pra|prcat|drcat|cc|mg|rfm" (case-insensitive). */
 SchemeKind parseSchemeKind(const std::string &name);
 
 /** Canonical scheme key, e.g. "drcat" (parseSchemeKind's inverse). */

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Misra-Gries frequent-item tracking mitigation (Graphene-style,
+ * Park et al., MICRO 2020).
+ *
+ * A small table of (row, count) entries summarizes the bank's
+ * activation stream with the Misra-Gries heavy-hitters sketch: a hit
+ * increments the row's entry, a miss fills a free entry, and a miss
+ * against a full table decrements EVERY entry (absorbing one
+ * occurrence of each tracked row plus the missing one into a global
+ * spill counter).  The sketch under-counts by at most the spill total,
+ * so `entry count + spills since the entry was installed` upper-bounds
+ * the row's true activation count; when that bound reaches the refresh
+ * threshold T the row's physical neighbors are refreshed and the entry
+ * resets.
+ *
+ * Guarantee: no row's true count since its last neighbor refresh ever
+ * exceeds T - every activation checks the bound, including misses
+ * (whose bound is the spill total alone).  Sized like Graphene
+ * (entries + 1 > acts-per-epoch / T) the spill counter stays below T
+ * and the miss path never fires; an undersized table degrades to
+ * conservative refresh-per-miss instead of losing the guarantee.
+ */
+
+#ifndef CATSIM_CORE_MISRA_GRIES_HPP
+#define CATSIM_CORE_MISRA_GRIES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adjacency.hpp"
+#include "core/mitigation.hpp"
+
+namespace catsim
+{
+
+/** Misra-Gries heavy-hitter tracker with threshold refresh. */
+class MisraGries : public MitigationScheme
+{
+  public:
+    /**
+     * @param num_rows    Rows per bank.
+     * @param num_entries Tracking-table entries (k).
+     * @param threshold   Refresh threshold (T).
+     */
+    MisraGries(RowAddr num_rows, std::uint32_t num_entries,
+               std::uint32_t threshold);
+
+    RefreshAction onActivate(RowAddr row) override;
+    void onEpoch() override;
+    std::string name() const override;
+
+    /**
+     * Use a physical-adjacency model for victim selection; must
+     * outlive this scheme, nullptr restores direct adjacency.
+     */
+    void setAdjacency(const RowAdjacency *adjacency)
+    {
+        adjacency_ = adjacency;
+    }
+
+    std::uint32_t numEntries() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+    /** Tracked count of @p row; 0 when untracked (test oracles). */
+    std::uint32_t trackedCount(RowAddr row) const;
+
+    /** Global decrements (spills) since the last epoch reset. */
+    std::uint64_t decrements() const { return dec_; }
+
+  private:
+    struct Entry
+    {
+        RowAddr row = 0;
+        std::uint32_t count = 0;    //!< 0 marks an evictable entry
+        std::uint64_t decBase = 0;  //!< spills excluded from the bound
+        bool live = false;          //!< row field is valid
+    };
+
+    RefreshAction refreshAround(RowAddr row);
+
+    std::uint32_t threshold_;
+    std::uint64_t dec_ = 0;
+    std::vector<Entry> entries_;
+    const RowAdjacency *adjacency_ = nullptr;
+};
+
+} // namespace catsim
+
+#endif // CATSIM_CORE_MISRA_GRIES_HPP

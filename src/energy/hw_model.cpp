@@ -129,6 +129,32 @@ HwModel::cost(SchemeKind kind, std::uint32_t num_counters,
                               * widthScale(threshold, false);
         c.areaMm2 = loglog(kSca, 5, 2.0 * m, &CalRow::area);
         return c;
+      case SchemeKind::MisraGries: {
+        // Graphene-style CAM of M entries: a 17-bit row tag plus a
+        // log2(T)-bit count per entry (CACTI-lite sizing).  The CAM
+        // match sweeps the tag array, charged as one extra access on
+        // top of the read + update pair; like the counter cache, tags
+        // roughly double the array next to a plain counter file, which
+        // the area model reuses.
+        const double bits =
+            17.0 + std::log2(static_cast<double>(threshold));
+        const double bytes = m * bits / 8.0;
+        c.dynPerAccess = 3.0 * sramAccessNj(bytes);
+        c.staticPerInterval = sramLeakageMw(bytes) * 1e6
+                              * EnergyConstants::kIntervalSeconds;
+        c.areaMm2 = loglog(kSca, 5, 2.0 * m, &CalRow::area);
+        return c;
+      }
+      case SchemeKind::Rfm: {
+        // One RAA counter per bank plus command logic: a few bytes of
+        // state, negligible next to any tracking table.
+        const double bytes = 4.0;
+        c.dynPerAccess = 2.0 * sramAccessNj(bytes);
+        c.staticPerInterval = sramLeakageMw(bytes) * 1e6
+                              * EnergyConstants::kIntervalSeconds;
+        c.areaMm2 = 1.0e-3;
+        return c;
+      }
     }
     CATSIM_PANIC("unreachable scheme kind in HwModel");
 }

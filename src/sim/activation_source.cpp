@@ -165,4 +165,86 @@ RefreshAwareAttackerSource::onRefreshAction(RowAddr row,
     ++rotations_;
 }
 
+CloudMixSource::CloudMixSource(const CloudMixParams &params)
+    : params_(params),
+      zipf_(params.hotRowsPerTenant, params.zipfTheta),
+      rng_(params.seed),
+      bases_(params.tenants, 0),
+      buffer_(kChunk)
+{
+    if (params_.tenants == 0)
+        CATSIM_FATAL("cloud mix needs at least one tenant");
+    if (params_.hotRowsPerTenant == 0
+        || params_.hotRowsPerTenant > params_.numRows)
+        CATSIM_FATAL("cloud-mix working set of ",
+                     params_.hotRowsPerTenant,
+                     " rows does not fit a bank of ", params_.numRows,
+                     " rows");
+    if (params_.actsPerEpoch == 0)
+        CATSIM_FATAL("cloud mix needs actsPerEpoch > 0");
+    rebase();
+}
+
+RowAddr
+CloudMixSource::tenantBase(std::uint32_t tenant) const
+{
+    if (tenant >= bases_.size())
+        CATSIM_FATAL("tenant ", tenant, " out of range (",
+                     bases_.size(), " tenants)");
+    return bases_[tenant];
+}
+
+void
+CloudMixSource::rebase()
+{
+    // Bases are a pure hash of (seed, phase, tenant), so relocation
+    // happens at the same activation index no matter how the stream
+    // was chunked, and a rebuilt source lands in the same phase.
+    const std::uint64_t phase =
+        params_.phaseEvery ? produced_ / params_.phaseEvery : 0;
+    for (std::uint32_t t = 0; t < params_.tenants; ++t) {
+        Xoshiro256StarStar h(params_.seed * 0x9E3779B97F4A7C15ULL
+                             + phase * 1000003ULL + t);
+        bases_[t] =
+            static_cast<RowAddr>(h.nextBounded(params_.numRows));
+    }
+}
+
+SourceChunk
+CloudMixSource::next(const RowAddr **rows, std::size_t *count)
+{
+    if (pendingEpoch_) {
+        pendingEpoch_ = false;
+        producedInEpoch_ = 0;
+        ++epochsDone_;
+        return SourceChunk::Epoch;
+    }
+    if (epochsDone_ >= params_.epochs)
+        return SourceChunk::End;
+    std::uint64_t n = std::min<std::uint64_t>(
+        params_.actsPerEpoch - producedInEpoch_, kChunk);
+    if (params_.phaseEvery > 0) {
+        // Stop the chunk at the phase boundary so the rebase happens
+        // at the exact activation index.
+        const std::uint64_t intoPhase = produced_ % params_.phaseEvery;
+        n = std::min(n, params_.phaseEvery - intoPhase);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto tenant = static_cast<std::uint32_t>(
+            rng_.nextBounded(params_.tenants));
+        const auto offset = static_cast<RowAddr>(zipf_.sample(rng_));
+        buffer_[static_cast<std::size_t>(i)] =
+            (bases_[tenant] + offset) % params_.numRows;
+    }
+    produced_ += n;
+    producedInEpoch_ += n;
+    if (producedInEpoch_ >= params_.actsPerEpoch)
+        pendingEpoch_ = true;
+    if (params_.phaseEvery > 0 && produced_ % params_.phaseEvery == 0)
+        rebase();
+    *rows = buffer_.data();
+    *count = static_cast<std::size_t>(n);
+    return SourceChunk::Rows;
+}
+
 } // namespace catsim

@@ -33,6 +33,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "common/zipf.hpp"
 #include "core/mitigation.hpp"
 
 namespace catsim
@@ -202,6 +203,56 @@ class RefreshAwareAttackerSource : public AttackSourceBase
     Count rotations_ = 0;
 
     RowAddr freshRow();
+};
+
+/** Shape of the benign multi-tenant cloud-mix stream. */
+struct CloudMixParams
+{
+    RowAddr numRows = 65536;        //!< rows in this bank
+    std::uint32_t tenants = 4;      //!< co-located tenants on the bank
+    RowAddr hotRowsPerTenant = 256; //!< per-tenant working-set rows
+    double zipfTheta = 0.99;        //!< intra-tenant popularity skew
+    std::uint64_t actsPerEpoch = 0; //!< activations per 64 ms epoch
+    std::uint64_t epochs = 2;       //!< epochs before End
+    std::uint64_t phaseEvery = 0;   //!< acts between hot-set moves
+                                    //!< (0 = static hot sets)
+    std::uint64_t seed = 1;         //!< stream seed
+};
+
+/**
+ * Open-loop benign generator: a consolidated multi-tenant cloud bank.
+ * Each activation picks one of the tenants uniformly and a row from
+ * that tenant's Zipf-skewed working set; every phaseEvery activations
+ * the working sets relocate to seeded, phase-indexed bases
+ * (deterministic phase changes - the hot-spot turnover that dynamic
+ * reconfiguration schemes are sold on).  Deterministic in its params
+ * and independent of how the stream is chunked.
+ */
+class CloudMixSource : public ActivationSource
+{
+  public:
+    explicit CloudMixSource(const CloudMixParams &params);
+
+    SourceChunk next(const RowAddr **rows, std::size_t *count) override;
+
+    /** Hot-set base row of @p tenant in the current phase (tests). */
+    RowAddr tenantBase(std::uint32_t tenant) const;
+
+  private:
+    static constexpr std::size_t kChunk = 4096;
+
+    /** Move every tenant's base for the phase produced_ sits in. */
+    void rebase();
+
+    CloudMixParams params_;
+    ZipfSampler zipf_;
+    Xoshiro256StarStar rng_;
+    std::vector<RowAddr> bases_;
+    std::vector<RowAddr> buffer_;
+    std::uint64_t produced_ = 0; //!< total acts, drives phase changes
+    std::uint64_t producedInEpoch_ = 0;
+    std::uint64_t epochsDone_ = 0;
+    bool pendingEpoch_ = false;
 };
 
 } // namespace catsim

@@ -22,9 +22,32 @@ attackerKindName(AttackerKind kind)
         return "MultiBank";
       case AttackerKind::RefreshAware:
         return "RefreshAware";
+      case AttackerKind::ManySided:
+        return "ManySided";
+      case AttackerKind::HalfDouble:
+        return "HalfDouble";
+      case AttackerKind::CloudMix:
+        return "CloudMix";
     }
     return "?";
 }
+
+namespace
+{
+
+/**
+ * Rate-based schemes (PRA's coin flip, RFM's rolling ACT budget)
+ * order refresh work in proportion to the activation stream, not to a
+ * per-row threshold, so the threshold co-scaling and its de-scaling
+ * corrections do not apply to them.
+ */
+bool
+rateBasedScheme(SchemeKind kind)
+{
+    return kind == SchemeKind::Pra || kind == SchemeKind::Rfm;
+}
+
+} // namespace
 
 TimingConfig
 makeSystem(SystemPreset preset)
@@ -86,7 +109,7 @@ SchemeConfig
 ExperimentRunner::scaledScheme(const SchemeConfig &scheme) const
 {
     SchemeConfig s = scheme;
-    if (s.kind == SchemeKind::Pra)
+    if (rateBasedScheme(s.kind))
         return s;
     s.threshold = scaledThreshold(scheme.threshold);
     if (!s.splitThresholds.empty()) {
@@ -273,7 +296,7 @@ ExperimentRunner::evalFromReplay(const ReplayResult &replay,
     // produces the real per-epoch refresh count but lasts only
     // s * 64 ms of simulated time.
     const double refreshScale =
-        (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+        rateBasedScheme(scheme.kind) ? 1.0 : scale_;
     perBank.victimRowsRefreshed = static_cast<Count>(
         static_cast<double>(replay.stats.victimRowsRefreshed) / banks
         * refreshScale);
@@ -314,16 +337,47 @@ ExperimentRunner::adaptiveSources(const TimingConfig &sys,
         CATSIM_FATAL("experiment scale ", scale_,
                      " leaves no activations in an epoch");
 
+    // CloudMix is the benign consolidation scenario: no aggressors,
+    // every bank runs a multi-tenant Zipf mix whose hot sets relocate
+    // mid-epoch (the reconfiguration stress DRCAT's weights target).
+    if (attack.attacker == AttackerKind::CloudMix) {
+        std::vector<std::unique_ptr<ActivationSource>> sources;
+        const std::uint32_t banks = sys.geometry.totalBanks();
+        sources.reserve(banks);
+        for (std::uint32_t b = 0; b < banks; ++b) {
+            CloudMixParams p;
+            p.numRows = sys.geometry.rowsPerBank;
+            p.actsPerEpoch = actsPerEpoch;
+            p.epochs = attack.epochs;
+            // Two phases per epoch: one deterministic hot-set turnover
+            // between consecutive retention refreshes.
+            p.phaseEvery = std::max<std::uint64_t>(actsPerEpoch / 2, 1);
+            p.seed = attack.seed * 1000003ULL + b;
+            sources.push_back(std::make_unique<CloudMixSource>(p));
+        }
+        return sources;
+    }
+
     // Initial target placement comes from the same kernel strategies
     // the open-loop AttackWorkload uses.
     std::vector<std::vector<RowAddr>> targets(
         sys.geometry.totalBanks());
     for (auto &t : targets)
         t.resize(attack.targetsPerBank);
-    const AttackKernelKind placement =
-        attack.attacker == AttackerKind::MultiBank
-            ? AttackKernelKind::MultiBank
-            : AttackKernelKind::Gaussian;
+    AttackKernelKind placement = AttackKernelKind::Gaussian;
+    switch (attack.attacker) {
+      case AttackerKind::MultiBank:
+        placement = AttackKernelKind::MultiBank;
+        break;
+      case AttackerKind::ManySided:
+        placement = AttackKernelKind::ManySided;
+        break;
+      case AttackerKind::HalfDouble:
+        placement = AttackKernelKind::HalfDouble;
+        break;
+      default:
+        break;
+    }
     makeAttackKernel(placement)->pickTargets(targets, sys.geometry,
                                              attack.kernel);
 
@@ -519,7 +573,7 @@ ExperimentRunner::evalAdaptiveEto(SystemPreset preset,
     const double raw = eto(base.execSeconds, mitigated.execSeconds);
     // De-scale: the per-epoch blocking time is faithful, but a scaled
     // epoch is 1/s shorter, inflating the relative overhead.
-    const double corr = (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+    const double corr = rateBasedScheme(scheme.kind) ? 1.0 : scale_;
     return raw * corr;
 }
 
@@ -543,7 +597,7 @@ ExperimentRunner::evalEto(SystemPreset preset,
     const double raw = eto(base.execSeconds, mitigated.execSeconds);
     // De-scale: the per-epoch blocking time is faithful, but a scaled
     // epoch is 1/s shorter, inflating the relative overhead.
-    const double corr = (scheme.kind == SchemeKind::Pra) ? 1.0 : scale_;
+    const double corr = rateBasedScheme(scheme.kind) ? 1.0 : scale_;
     return raw * corr;
 }
 

@@ -38,12 +38,18 @@
 namespace catsim
 {
 
-/** Closed-loop attacker families evaluated by bench_fig14_adaptive. */
+/**
+ * Closed-loop attacker families evaluated by bench_fig14_adaptive and
+ * the modern scenario corpus of bench_fig16_modern.
+ */
 enum class AttackerKind
 {
     Static,       //!< fixed Gaussian targets, open loop
     MultiBank,    //!< fixed targets synchronized across banks
     RefreshAware, //!< TRR-style: rotates aggressors on observed refresh
+    ManySided,    //!< aggressor pairs straddling each victim (v+-1)
+    HalfDouble,   //!< far pairs at distance 2 (blast radius 2)
+    CloudMix,     //!< benign multi-tenant Zipf mix with phase changes
 };
 
 /** Attacker name for labels/reports. */

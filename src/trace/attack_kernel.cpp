@@ -16,6 +16,10 @@ attackKernelKindName(AttackKernelKind kind)
         return "Gauss";
       case AttackKernelKind::MultiBank:
         return "MultiBank";
+      case AttackKernelKind::ManySided:
+        return "ManySided";
+      case AttackKernelKind::HalfDouble:
+        return "HalfDouble";
     }
     return "?";
 }
@@ -28,8 +32,12 @@ parseAttackKernelKind(const std::string &name)
         return AttackKernelKind::Gaussian;
     if (s == "multibank" || s == "multi-bank")
         return AttackKernelKind::MultiBank;
+    if (s == "manysided" || s == "many-sided")
+        return AttackKernelKind::ManySided;
+    if (s == "halfdouble" || s == "half-double")
+        return AttackKernelKind::HalfDouble;
     CATSIM_FATAL("unknown attack kernel kind '", name,
-                 "' (want gaussian|multibank)");
+                 "' (want gaussian|multibank|manysided|halfdouble)");
 }
 
 namespace
@@ -52,7 +60,44 @@ contains(const std::vector<RowAddr> &rows, std::size_t n, RowAddr row)
     return false;
 }
 
+/** A Gaussian draw around @p center, wrapped into [0, num_rows). */
+std::function<RowAddr()>
+gaussianDraw(Xoshiro256StarStar &rng, std::uint64_t center,
+             double sigma, RowAddr num_rows)
+{
+    const auto n = static_cast<std::int64_t>(num_rows);
+    return [&rng, center, sigma, n]() -> RowAddr {
+        const double offset = rng.nextGaussian() * sigma;
+        std::int64_t r = static_cast<std::int64_t>(center)
+                         + static_cast<std::int64_t>(offset);
+        r = ((r % n) + n) % n;
+        return static_cast<RowAddr>(r);
+    };
+}
+
 } // namespace
+
+RowAddr
+pickDistinctRow(RowAddr num_rows, const std::function<RowAddr()> &draw,
+                const std::function<bool(RowAddr)> &ok)
+{
+    // A draw can collide with an earlier target, which would merely
+    // double-hammer one row and silently shrink the effective
+    // targets-per-bank; re-draw until accepted.
+    RowAddr row = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        row = draw();
+        if (ok(row))
+            return row;
+    }
+    // Degenerate draw (sigma ~ 0, tiny banks): probe linearly from the
+    // last candidate so placement always terminates.
+    for (;;) {
+        row = (row + 1) % num_rows;
+        if (ok(row))
+            return row;
+    }
+}
 
 void
 drawGaussianTargets(std::vector<RowAddr> &rows, Xoshiro256StarStar &rng,
@@ -62,31 +107,54 @@ drawGaussianTargets(std::vector<RowAddr> &rows, Xoshiro256StarStar &rng,
     if (rows.size() > static_cast<std::size_t>(num_rows))
         CATSIM_FATAL("cannot place ", rows.size(),
                      " distinct targets in ", num_rows, " rows");
-    const auto n = static_cast<std::int64_t>(num_rows);
+    const auto draw = gaussianDraw(rng, center, sigma, num_rows);
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        RowAddr row = 0;
-        // Gaussian placement can collide with an earlier target, which
-        // would merely double-hammer one row and silently shrink the
-        // effective targets-per-bank; re-draw until distinct.
-        bool placed = false;
-        for (int attempt = 0; attempt < 64; ++attempt) {
-            const double offset = rng.nextGaussian() * sigma;
-            std::int64_t r = static_cast<std::int64_t>(center)
-                             + static_cast<std::int64_t>(offset);
-            r = ((r % n) + n) % n;
-            row = static_cast<RowAddr>(r);
-            if (!contains(rows, i, row)) {
-                placed = true;
-                break;
-            }
-        }
-        // Degenerate sigma (or sigma ~ 0): probe linearly so placement
-        // always terminates with distinct rows.
-        while (!placed) {
-            row = (row + 1) % num_rows;
-            placed = !contains(rows, i, row);
-        }
-        rows[i] = row;
+        rows[i] = pickDistinctRow(num_rows, draw, [&](RowAddr row) {
+            return !contains(rows, i, row);
+        });
+    }
+    std::sort(rows.begin(), rows.end());
+}
+
+void
+drawStraddlePairs(std::vector<RowAddr> &rows, Xoshiro256StarStar &rng,
+                  std::uint64_t center, double sigma, RowAddr num_rows,
+                  RowAddr gap)
+{
+    const std::size_t pairs = rows.size() / 2;
+    // Each placed pair vetoes at most 9 victim candidates (3 used rows
+    // x 3 candidates each) and the edges exclude 2 * gap more, so this
+    // bound keeps at least one candidate acceptable at every step.
+    if (gap == 0
+        || 9 * pairs + 2 * static_cast<std::size_t>(gap) + rows.size()
+               >= num_rows)
+        CATSIM_FATAL("cannot place ", pairs, " straddling pairs of gap ",
+                     gap, " in ", num_rows, " rows");
+    const auto draw = gaussianDraw(rng, center, sigma, num_rows);
+    // Aggressors AND victims of placed pairs are off limits: a row
+    // serving as both victim and aggressor would hammer itself clean.
+    std::vector<RowAddr> used;
+    used.reserve(pairs * 3 + 1);
+    std::size_t out = 0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const RowAddr v =
+            pickDistinctRow(num_rows, draw, [&](RowAddr row) {
+                return row >= gap && row + gap < num_rows
+                       && !contains(used, used.size(), row - gap)
+                       && !contains(used, used.size(), row)
+                       && !contains(used, used.size(), row + gap);
+            });
+        rows[out++] = v - gap;
+        rows[out++] = v + gap;
+        used.push_back(v - gap);
+        used.push_back(v);
+        used.push_back(v + gap);
+    }
+    if (out < rows.size()) {
+        // Odd targets-per-bank: one lone aggressor tops up the set.
+        rows[out++] = pickDistinctRow(num_rows, draw, [&](RowAddr row) {
+            return !contains(used, used.size(), row);
+        });
     }
     std::sort(rows.begin(), rows.end());
 }
@@ -128,6 +196,41 @@ MultiBankCoordinatedKernel::pickTargets(
         targets[b] = targets[0];
 }
 
+void
+ManySidedKernel::pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                             const DramGeometry &geometry,
+                             std::uint64_t kernel_seed) const
+{
+    // Victims follow the same per-bank Gaussian the paper kernels use;
+    // each contributes the double-sided aggressor pair (v-1, v+1).
+    Xoshiro256StarStar krng = kernelRng(kernel_seed);
+    const double sigma = geometry.rowsPerBank / 64.0;
+    for (auto &bankTargets : targets) {
+        const std::uint64_t center =
+            krng.nextBounded(geometry.rowsPerBank);
+        drawStraddlePairs(bankTargets, krng, center, sigma,
+                          geometry.rowsPerBank, 1);
+    }
+}
+
+void
+HalfDoubleKernel::pickTargets(std::vector<std::vector<RowAddr>> &targets,
+                              const DramGeometry &geometry,
+                              std::uint64_t kernel_seed) const
+{
+    // Far pairs (v-2, v+2): the hammered rows are at physical distance
+    // 2 from the victim, so only a radius-2 victim model (or a defense
+    // refreshing a range) covers the disturbance they cause.
+    Xoshiro256StarStar krng = kernelRng(kernel_seed);
+    const double sigma = geometry.rowsPerBank / 64.0;
+    for (auto &bankTargets : targets) {
+        const std::uint64_t center =
+            krng.nextBounded(geometry.rowsPerBank);
+        drawStraddlePairs(bankTargets, krng, center, sigma,
+                          geometry.rowsPerBank, 2);
+    }
+}
+
 std::unique_ptr<AttackKernel>
 makeAttackKernel(AttackKernelKind kind)
 {
@@ -136,6 +239,10 @@ makeAttackKernel(AttackKernelKind kind)
         return std::make_unique<GaussianKernel>();
       case AttackKernelKind::MultiBank:
         return std::make_unique<MultiBankCoordinatedKernel>();
+      case AttackKernelKind::ManySided:
+        return std::make_unique<ManySidedKernel>();
+      case AttackKernelKind::HalfDouble:
+        return std::make_unique<HalfDoubleKernel>();
     }
     CATSIM_FATAL("unhandled attack kernel kind");
 }

@@ -251,9 +251,10 @@ TEST(CheckpointJournalTest, BitFlipsNeverServeCorruptRecords)
         CheckpointJournal j(d.string(), "flip-key");
         std::string blob;
         for (const auto &[k, v] : records) {
-            if (j.lookup(k, &blob))
+            if (j.lookup(k, &blob)) {
                 EXPECT_EQ(blob, v)
                     << "bit flip at " << pos << " served corrupt " << k;
+            }
         }
         std::filesystem::remove_all(d);
     }

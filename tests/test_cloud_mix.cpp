@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Determinism tests for the benign multi-tenant cloud-mix generator:
+ * stream determinism, epoch cadence, deterministic phase changes, and
+ * bit-identical replay between replaySources and a 4-shard ShardedSim
+ * with byte-identical checkpoint resume - including through the new
+ * Misra-Gries and RFM schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+// Shard/job counts and checkpointing must come from the tests, not
+// from the invoking environment.
+const bool kEnvScrubbed = [] {
+    ::unsetenv("CATSIM_JOBS");
+    ::unsetenv("CATSIM_SHARDS");
+    ::unsetenv("CATSIM_CHECKPOINT");
+    return true;
+}();
+
+struct EnvVarGuard
+{
+    explicit EnvVarGuard(const char *name) : name_(name) {}
+    ~EnvVarGuard() { ::unsetenv(name_); }
+    const char *name_;
+};
+
+std::filesystem::path
+freshDir(const std::string &name)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("catsim_" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+constexpr RowAddr kRows = 65536;
+constexpr std::uint32_t kBanks = 16;
+
+CloudMixParams
+mixParams(std::uint64_t seed)
+{
+    CloudMixParams p;
+    p.numRows = kRows;
+    p.tenants = 4;
+    p.hotRowsPerTenant = 64;
+    p.zipfTheta = 0.99;
+    p.actsPerEpoch = 20000;
+    p.epochs = 2;
+    p.phaseEvery = 3000; // not a multiple of the chunk size
+    p.seed = seed;
+    return p;
+}
+
+/** Drain a source; returns all rows and counts epoch markers. */
+std::vector<RowAddr>
+drain(CloudMixSource &source, std::uint64_t *epochs = nullptr)
+{
+    std::vector<RowAddr> all;
+    if (epochs)
+        *epochs = 0;
+    for (;;) {
+        const RowAddr *rows = nullptr;
+        std::size_t count = 0;
+        const SourceChunk chunk = source.next(&rows, &count);
+        if (chunk == SourceChunk::End)
+            return all;
+        if (chunk == SourceChunk::Epoch) {
+            if (epochs)
+                ++*epochs;
+            continue;
+        }
+        all.insert(all.end(), rows, rows + count);
+    }
+}
+
+/** Per-global-bank cloud-mix source; identical at any shard count. */
+std::unique_ptr<ActivationSource>
+makeCloudSource(std::uint32_t bank)
+{
+    CloudMixParams p = mixParams(1000 + bank);
+    // Skew the per-bank lengths so work stealing has something to do.
+    p.actsPerEpoch = (bank % 8 < 2) ? 20000 : 4000;
+    return std::make_unique<CloudMixSource>(p);
+}
+
+ReplayResult
+unshardedRun(const SchemeConfig &cfg)
+{
+    std::vector<std::unique_ptr<ActivationSource>> sources;
+    for (std::uint32_t b = 0; b < kBanks; ++b)
+        sources.push_back(makeCloudSource(b));
+    return replaySources(sources, cfg, kRows);
+}
+
+void
+expectSameReplay(const ReplayResult &a, const ReplayResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.stats.activations, b.stats.activations) << what;
+    EXPECT_EQ(a.stats.refreshEvents, b.stats.refreshEvents) << what;
+    EXPECT_EQ(a.stats.victimRowsRefreshed, b.stats.victimRowsRefreshed)
+        << what;
+    EXPECT_EQ(a.stats.sramAccesses, b.stats.sramAccesses) << what;
+    EXPECT_EQ(a.stats.prngBits, b.stats.prngBits) << what;
+    EXPECT_EQ(a.stats.splits, b.stats.splits) << what;
+    EXPECT_EQ(a.stats.merges, b.stats.merges) << what;
+    EXPECT_EQ(a.stats.epochResets, b.stats.epochResets) << what;
+    EXPECT_EQ(a.stats.counterDramReads, b.stats.counterDramReads)
+        << what;
+    EXPECT_EQ(a.stats.counterDramWrites, b.stats.counterDramWrites)
+        << what;
+    EXPECT_EQ(a.banks, b.banks) << what;
+    EXPECT_EQ(a.epochs, b.epochs) << what;
+}
+
+/** The scheme configs the corpus cares about, new baselines included. */
+std::vector<SchemeConfig>
+schemeMatrix()
+{
+    std::vector<SchemeConfig> configs(3);
+    configs[0].kind = SchemeKind::Prcat;
+    configs[0].numCounters = 16;
+    configs[0].maxLevels = 11;
+    configs[0].threshold = 2048;
+    configs[1].kind = SchemeKind::MisraGries;
+    configs[1].numCounters = 64;
+    configs[1].threshold = 2048;
+    configs[2].kind = SchemeKind::Rfm;
+    configs[2].rfmBudget = 64;
+    return configs;
+}
+
+} // namespace
+
+TEST(CloudMix, StreamIsDeterministic)
+{
+    CloudMixSource a(mixParams(7));
+    CloudMixSource b(mixParams(7));
+    std::uint64_t epochsA = 0, epochsB = 0;
+    EXPECT_EQ(drain(a, &epochsA), drain(b, &epochsB));
+    EXPECT_EQ(epochsA, epochsB);
+}
+
+TEST(CloudMix, EpochCadenceAndLength)
+{
+    CloudMixSource source(mixParams(7));
+    std::uint64_t epochs = 0;
+    const std::vector<RowAddr> all = drain(source, &epochs);
+    EXPECT_EQ(all.size(), 40000u) << "2 epochs x 20000 acts";
+    EXPECT_EQ(epochs, 2u);
+    for (const RowAddr row : all)
+        ASSERT_LT(row, kRows);
+}
+
+TEST(CloudMix, PhaseChangesMoveHotSets)
+{
+    // Bases are a pure hash of (seed, phase, tenant): deterministic,
+    // and different across phases for this seed.
+    CloudMixParams p = mixParams(11);
+    CloudMixSource source(p);
+    std::vector<RowAddr> basesPhase0;
+    for (std::uint32_t t = 0; t < p.tenants; ++t)
+        basesPhase0.push_back(source.tenantBase(t));
+
+    // Drive past the first phase boundary (phaseEvery = 3000 acts).
+    const RowAddr *rows = nullptr;
+    std::size_t count = 0;
+    std::uint64_t produced = 0;
+    while (produced < p.phaseEvery) {
+        ASSERT_EQ(source.next(&rows, &count), SourceChunk::Rows);
+        produced += count;
+        // Chunks never straddle a phase boundary.
+        ASSERT_LE(produced, p.phaseEvery);
+    }
+    std::vector<RowAddr> basesPhase1;
+    for (std::uint32_t t = 0; t < p.tenants; ++t)
+        basesPhase1.push_back(source.tenantBase(t));
+    EXPECT_NE(basesPhase0, basesPhase1) << "hot sets never moved";
+
+    // A second source driven to the same point lands on the same
+    // bases - relocation does not depend on chunking history.
+    CloudMixSource replayed(p);
+    std::uint64_t replayedActs = 0;
+    while (replayedActs < p.phaseEvery) {
+        ASSERT_EQ(replayed.next(&rows, &count), SourceChunk::Rows);
+        replayedActs += count;
+    }
+    for (std::uint32_t t = 0; t < p.tenants; ++t)
+        EXPECT_EQ(replayed.tenantBase(t), basesPhase1[t]);
+}
+
+TEST(CloudMix, PhasesProduceDistinctWorkingSets)
+{
+    CloudMixParams p = mixParams(13);
+    p.hotRowsPerTenant = 8; // tight hot sets, clear separation
+    CloudMixSource source(p);
+    std::vector<RowAddr> all = drain(source);
+    const auto phaseLen = static_cast<std::ptrdiff_t>(p.phaseEvery);
+    const std::set<RowAddr> phase0(all.begin(),
+                                   all.begin() + phaseLen);
+    const std::set<RowAddr> phase1(all.begin() + phaseLen,
+                                   all.begin() + 2 * phaseLen);
+    EXPECT_NE(phase0, phase1)
+        << "phase change left every hot row in place";
+}
+
+TEST(CloudMix, ShardedRunMatchesUnshardedForEveryScheme)
+{
+    for (const SchemeConfig &cfg : schemeMatrix()) {
+        const ReplayResult oracle = unshardedRun(cfg);
+        ShardedSim sim(cfg, kRows, ShardPlan::make(kBanks, 4), 4);
+        const FleetResult fleet = sim.run(makeCloudSource, "cloud");
+        expectSameReplay(fleet.total, oracle,
+                         "scheme " + std::to_string(static_cast<int>(
+                             cfg.kind)));
+        EXPECT_TRUE(fleet.errors.empty());
+    }
+}
+
+TEST(CloudMix, FleetCheckpointResumesByteIdentically)
+{
+    const auto dir = freshDir("cloud_ckpt");
+    EnvVarGuard env("CATSIM_CHECKPOINT");
+    ::setenv("CATSIM_CHECKPOINT", dir.c_str(), 1);
+
+    // Run the new-scheme leg through the journal: a fresh ShardedSim
+    // with the same params must replay every shard from bytes.
+    const SchemeConfig cfg = schemeMatrix()[1]; // Misra-Gries
+    ShardedSim first(cfg, kRows, ShardPlan::make(kBanks, 4), 2);
+    const FleetResult cold = first.run(makeCloudSource, "cloud_ck");
+    EXPECT_EQ(cold.resumedShards, 0u);
+
+    ShardedSim second(cfg, kRows, ShardPlan::make(kBanks, 4), 2);
+    const FleetResult warm = second.run(makeCloudSource, "cloud_ck");
+    EXPECT_EQ(warm.resumedShards, 4u);
+    expectSameReplay(warm.total, cold.total, "resumed cloud fleet");
+    for (std::size_t i = 0; i < cold.perShard.size(); ++i)
+        expectSameReplay(warm.perShard[i], cold.perShard[i],
+                         "resumed shard " + std::to_string(i));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CloudMixDeath, RejectsBadParams)
+{
+    CloudMixParams zeroTenants = mixParams(1);
+    zeroTenants.tenants = 0;
+    EXPECT_EXIT(CloudMixSource{zeroTenants},
+                ::testing::ExitedWithCode(1), "tenant");
+    CloudMixParams hugeSet = mixParams(1);
+    hugeSet.hotRowsPerTenant = kRows + 1;
+    EXPECT_EXIT(CloudMixSource{hugeSet}, ::testing::ExitedWithCode(1),
+                "does not fit");
+    CloudMixParams noActs = mixParams(1);
+    noActs.actsPerEpoch = 0;
+    EXPECT_EXIT(CloudMixSource{noActs}, ::testing::ExitedWithCode(1),
+                "actsPerEpoch");
+}
+
+} // namespace catsim

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Property tests for the Misra-Gries frequent-item mitigation: the
+ * classic count-underestimate bound against an exact-count oracle, the
+ * no-false-negative-above-threshold guarantee on seeded-random and
+ * adversarial streams (sized and undersized tables), behavior across
+ * epoch resets, and onActivate/onActivateBatch stats identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/misra_gries.hpp"
+
+namespace catsim
+{
+
+namespace
+{
+
+constexpr RowAddr kRows = 65536;
+
+/** A threshold far above any bound the streams below can reach. */
+constexpr std::uint32_t kNeverTrigger = 1000000000;
+
+/**
+ * Feed @p acts activations of @p mg while asserting the no-false-
+ * negative guarantee against an exact oracle: no row's true activation
+ * count since the last refresh triggered by that row ever reaches past
+ * the threshold.
+ */
+void
+assertNoFalseNegative(MisraGries &mg, const std::vector<RowAddr> &acts,
+                      std::uint32_t threshold,
+                      std::map<RowAddr, std::uint64_t> &since)
+{
+    for (const RowAddr row : acts) {
+        ++since[row];
+        const RefreshAction act = mg.onActivate(row);
+        ASSERT_LE(since[row], threshold)
+            << "row " << row << " hammered past the threshold "
+            << "without a refresh";
+        if (act.triggered())
+            since[row] = 0;
+    }
+}
+
+} // namespace
+
+TEST(MisraGries, NameAndEntryCount)
+{
+    MisraGries mg(kRows, 8, 32768);
+    EXPECT_EQ(mg.name(), "MG_8");
+    EXPECT_EQ(mg.numEntries(), 8u);
+}
+
+TEST(MisraGries, RefreshesNeighborsOfTriggeringRow)
+{
+    MisraGries mg(kRows, 4, 2);
+    EXPECT_FALSE(mg.onActivate(100).triggered());
+    const RefreshAction act = mg.onActivate(100);
+    ASSERT_TRUE(act.triggered());
+    EXPECT_EQ(act.lo, 99u);
+    EXPECT_EQ(act.hi, 101u);
+    EXPECT_EQ(act.rowCount, 2u) << "aggressor itself not refreshed";
+    EXPECT_EQ(mg.stats().refreshEvents, 1u);
+    EXPECT_EQ(mg.stats().victimRowsRefreshed, 2u);
+
+    // Edge rows have a single victim.
+    MisraGries edge(kRows, 4, 2);
+    edge.onActivate(0);
+    const RefreshAction low = edge.onActivate(0);
+    ASSERT_TRUE(low.triggered());
+    EXPECT_EQ(low.rowCount, 1u);
+    EXPECT_EQ(low.lo, 1u);
+}
+
+TEST(MisraGries, UnderestimateBoundAgainstExactOracle)
+{
+    // k = 8 entries against a 64-row working set: evictions and
+    // decrements happen constantly.  The sketch must never OVER-count,
+    // and its underestimate is bounded by the global spill counter,
+    // itself at most N/(k+1) after N activations.
+    constexpr std::uint32_t kEntries = 8;
+    MisraGries mg(kRows, kEntries, kNeverTrigger);
+    std::map<RowAddr, std::uint64_t> truth;
+    Xoshiro256StarStar rng(99);
+    std::uint64_t n = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const auto row = static_cast<RowAddr>(rng.nextBounded(64));
+        ++truth[row];
+        mg.onActivate(row);
+        ++n;
+        if (i % 1000 != 0)
+            continue;
+        ASSERT_LE(mg.decrements() * (kEntries + 1), n)
+            << "spill counter above N/(k+1) after " << n << " acts";
+        for (const auto &[r, trueCount] : truth) {
+            const std::uint64_t tracked = mg.trackedCount(r);
+            ASSERT_LE(tracked, trueCount)
+                << "sketch over-counted row " << r;
+            ASSERT_LE(trueCount - tracked, mg.decrements())
+                << "underestimate of row " << r
+                << " exceeds the spill total";
+        }
+    }
+}
+
+TEST(MisraGries, AdversarialRoundRobinMeetsTightBound)
+{
+    // Round robin over k+1 rows is the classic worst case: every
+    // (k+1)-th activation misses a full table and decrements, so the
+    // spill counter tracks N/(k+1) exactly and the (k+1)-th row's
+    // underestimate equals the bound.
+    constexpr std::uint32_t kEntries = 4;
+    MisraGries mg(kRows, kEntries, kNeverTrigger);
+    constexpr std::uint64_t kCycles = 1000;
+    for (std::uint64_t c = 0; c < kCycles; ++c)
+        for (RowAddr row = 0; row <= kEntries; ++row)
+            mg.onActivate(row);
+    EXPECT_EQ(mg.decrements(), kCycles);
+    EXPECT_EQ(mg.trackedCount(kEntries), 0u)
+        << "the overflowing row is never retained";
+    // true(k) - tracked(k) == kCycles - 0 == decrements: bound tight.
+}
+
+TEST(MisraGries, NoFalseNegativeWithGrapheneSizedTable)
+{
+    // Sized per Graphene: entries + 1 = 129 > 60000 acts / T=500, so
+    // the spill counter stays below T and the conservative miss path
+    // never fires - yet an embedded heavy hitter (30% of the stream)
+    // must still be refreshed every <= T of its own activations.
+    constexpr std::uint32_t kThreshold = 500;
+    MisraGries mg(8192, 128, kThreshold);
+    std::vector<RowAddr> acts;
+    Xoshiro256StarStar rng(7);
+    for (int i = 0; i < 60000; ++i) {
+        acts.push_back(rng.nextDouble() < 0.3
+                           ? RowAddr(4000)
+                           : static_cast<RowAddr>(
+                                 rng.nextBounded(8000)));
+    }
+    std::map<RowAddr, std::uint64_t> since;
+    assertNoFalseNegative(mg, acts, kThreshold, since);
+    EXPECT_LT(mg.decrements(), kThreshold)
+        << "a Graphene-sized table must never hit the "
+           "conservative miss path";
+    // ~18000 heavy-hitter acts at T=500 demand dozens of refreshes.
+    EXPECT_GE(mg.stats().refreshEvents, 30u);
+}
+
+TEST(MisraGries, NoFalseNegativeWhenUndersized)
+{
+    // 4 entries against 40 round-robin rows plus a heavy hitter: the
+    // spill counter blows through T, and the scheme must degrade to
+    // conservative refreshes instead of losing the guarantee.
+    constexpr std::uint32_t kThreshold = 50;
+    MisraGries mg(kRows, 4, kThreshold);
+    std::vector<RowAddr> acts;
+    for (int i = 0; i < 20000; ++i) {
+        acts.push_back(static_cast<RowAddr>(i % 40));
+        if (i % 3 == 0)
+            acts.push_back(777);
+    }
+    std::map<RowAddr, std::uint64_t> since;
+    assertNoFalseNegative(mg, acts, kThreshold, since);
+    EXPECT_GE(mg.decrements(), kThreshold)
+        << "this stream is supposed to exercise the undersized path";
+}
+
+TEST(MisraGries, EpochResetClearsSketchAndKeepsGuarantee)
+{
+    constexpr std::uint32_t kThreshold = 60;
+    MisraGries mg(kRows, 6, kThreshold);
+    std::vector<RowAddr> acts;
+    Xoshiro256StarStar rng(21);
+    for (int i = 0; i < 5000; ++i)
+        acts.push_back(static_cast<RowAddr>(rng.nextBounded(30)));
+
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        // Retention refresh clears true disturbance too, so the
+        // oracle restarts with the sketch.
+        std::map<RowAddr, std::uint64_t> since;
+        assertNoFalseNegative(mg, acts, kThreshold, since);
+        mg.onEpoch();
+        EXPECT_EQ(mg.decrements(), 0u);
+        for (RowAddr row = 0; row < 30; ++row)
+            EXPECT_EQ(mg.trackedCount(row), 0u);
+    }
+    EXPECT_EQ(mg.stats().epochResets, 3u);
+}
+
+TEST(MisraGries, BatchMatchesPerActivationStats)
+{
+    MisraGries single(kRows, 16, 64);
+    MisraGries batched(kRows, 16, 64);
+    std::vector<RowAddr> acts;
+    Xoshiro256StarStar rng(5);
+    for (int i = 0; i < 20000; ++i)
+        acts.push_back(static_cast<RowAddr>(rng.nextBounded(256)));
+
+    for (const RowAddr row : acts)
+        single.onActivate(row);
+    for (std::size_t i = 0; i < acts.size(); i += 777) {
+        const std::size_t n = std::min<std::size_t>(777,
+                                                    acts.size() - i);
+        batched.onActivateBatch(acts.data() + i, n);
+    }
+
+    const SchemeStats &a = single.stats();
+    const SchemeStats &b = batched.stats();
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.refreshEvents, b.refreshEvents);
+    EXPECT_EQ(a.victimRowsRefreshed, b.victimRowsRefreshed);
+    EXPECT_EQ(a.sramAccesses, b.sramAccesses);
+    EXPECT_EQ(a.epochResets, b.epochResets);
+    EXPECT_EQ(single.decrements(), batched.decrements());
+    for (RowAddr row = 0; row < 256; ++row)
+        ASSERT_EQ(single.trackedCount(row), batched.trackedCount(row))
+            << "row " << row;
+}
+
+TEST(MisraGries, AdjacencyModelSelectsPhysicalVictims)
+{
+    const RowAdjacency adj(RowAdjacency::Kind::BlockMirrored, kRows);
+    MisraGries mg(kRows, 4, 2);
+    mg.setAdjacency(&adj);
+    mg.onActivate(1000);
+    const RefreshAction act = mg.onActivate(1000);
+    ASSERT_TRUE(act.triggered());
+    std::array<RowAddr, 2> victims{};
+    const std::uint32_t n = adj.victims(1000, victims);
+    ASSERT_EQ(n, 2u);
+    EXPECT_EQ(act.lo, std::min(victims[0], victims[1]));
+    EXPECT_EQ(act.hi, std::max(victims[0], victims[1]));
+    EXPECT_EQ(act.rowCount, 2u);
+}
+
+TEST(MisraGriesDeath, RejectsBadConfig)
+{
+    EXPECT_EXIT(MisraGries(kRows, 0, 32768),
+                ::testing::ExitedWithCode(1), "at least one entry");
+    EXPECT_EXIT(MisraGries(kRows, 8, 1), ::testing::ExitedWithCode(1),
+                "threshold");
+}
+
+} // namespace catsim

@@ -39,6 +39,7 @@ expectRoundTrip(const SystemConfig &sys)
     EXPECT_EQ(back.scheme.threshold, sys.scheme.threshold);
     EXPECT_EQ(back.scheme.praProbability, sys.scheme.praProbability);
     EXPECT_EQ(back.scheme.cacheWays, sys.scheme.cacheWays);
+    EXPECT_EQ(back.scheme.rfmBudget, sys.scheme.rfmBudget);
     EXPECT_EQ(back.scheme.seed, sys.scheme.seed);
     EXPECT_EQ(back.scheme.lfsrPrng, sys.scheme.lfsrPrng);
     EXPECT_EQ(back.scheme.evictionPolicy, sys.scheme.evictionPolicy);
@@ -148,6 +149,45 @@ TEST(SystemConfigFormat, RoundTripsAcrossTheDesignSpace)
         sys.scheme.evictionPolicy = EvictionPolicyKind::Random;
         expectRoundTrip(sys);
     }
+    {
+        // fig16-style modern corpus cell: Misra-Gries vs many-sided.
+        SystemConfig sys;
+        sys.workload.name = "comm1";
+        sys.workload.isAttack = true;
+        sys.workload.attackMode = AttackMode::Medium;
+        sys.workload.attackKernelKind = AttackKernelKind::ManySided;
+        sys.scheme.kind = SchemeKind::MisraGries;
+        sys.scheme.numCounters = 512;
+        sys.scheme.threshold = 16384;
+        expectRoundTrip(sys);
+    }
+    {
+        // RFM with a non-default budget against half-double placement.
+        SystemConfig sys;
+        sys.workload.name = "mum";
+        sys.workload.isAttack = true;
+        sys.workload.attackKernelKind = AttackKernelKind::HalfDouble;
+        sys.scheme.kind = SchemeKind::Rfm;
+        sys.scheme.rfmBudget = 128;
+        expectRoundTrip(sys);
+    }
+}
+
+TEST(SystemConfigParse, ModernSchemeAliasesAndBudget)
+{
+    const SystemConfig mg =
+        SystemConfig::parse("scheme=misra-gries counters=512");
+    EXPECT_EQ(mg.scheme.kind, SchemeKind::MisraGries);
+    EXPECT_EQ(mg.scheme.label(), "MG_512");
+    EXPECT_EQ(SystemConfig::parse("scheme=misragries").scheme.kind,
+              SchemeKind::MisraGries);
+
+    const SystemConfig rfm =
+        SystemConfig::parse("scheme=rfm rfmbudget=96");
+    EXPECT_EQ(rfm.scheme.kind, SchemeKind::Rfm);
+    EXPECT_EQ(rfm.scheme.rfmBudget, 96u);
+    EXPECT_EQ(rfm.scheme.label(), "RFM_96");
+    EXPECT_EQ(SystemConfig::parse("scheme=rfm").scheme.rfmBudget, 64u);
 }
 
 TEST(SystemConfigLabel, ComposesTheHistoricalLabels)
